@@ -1,0 +1,234 @@
+// Command chaos is the LightVM toolstack CLI on a simulated host —
+// the counterpart of the paper's chaos command. It runs a batch of
+// operations against a fresh machine and reports virtual-time costs.
+//
+// Usage:
+//
+//	chaos -op create -image daytime -mode lightvm -n 100
+//	chaos -op checkpoint -image daytime -mode noxs
+//	chaos -op migrate -image clickos-fw -mode noxs
+//	chaos -op images
+//	chaos -op modes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lightvm"
+)
+
+var modeNames = map[string]lightvm.Mode{
+	"xl":      lightvm.ModeXL,
+	"xs":      lightvm.ModeChaosXS,
+	"split":   lightvm.ModeChaosSplit,
+	"noxs":    lightvm.ModeChaosNoXS,
+	"lightvm": lightvm.ModeLightVM,
+}
+
+func main() {
+	op := flag.String("op", "create", "operation: create | checkpoint | migrate | stats | console | images | modes")
+	imageName := flag.String("image", "daytime", "guest image name (see -op images)")
+	modeName := flag.String("mode", "lightvm", "toolstack: xl | xs | split | noxs | lightvm")
+	n := flag.Int("n", 10, "number of guests for -op create")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	traceOps := flag.Bool("trace", false, "print the control-plane operation trace")
+	cfgPath := flag.String("config", "", "guest config file (xl or chaos format); overrides -image")
+	flag.Parse()
+
+	if err := run(*op, *imageName, *modeName, *n, *seed, *traceOps, *cfgPath); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(op, imageName, modeName string, n int, seed uint64, traceOps bool, cfgPath string) error {
+	var traceLog *lightvm.TraceLog
+	attach := func(h *lightvm.Host) {
+		if traceOps {
+			traceLog = h.EnableTrace(0)
+		}
+	}
+	defer func() {
+		if traceLog != nil {
+			fmt.Print(traceLog.String())
+		}
+	}()
+	switch op {
+	case "images":
+		fmt.Println("available guest images:")
+		for _, name := range []string{"noop", "daytime", "minipython", "clickos-fw", "tls-unikernel", "tinyx", "tinyx-micropython", "tinyx-tls", "debian", "debian-micropython"} {
+			im, err := lightvm.ImageByName(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-20s %8.2f MB image  %7.1f MB RAM\n",
+				im.Name, float64(im.TotalSize())/(1<<20), float64(im.MemBytes)/(1<<20))
+		}
+		return nil
+	case "modes":
+		fmt.Println("toolstack modes:")
+		for k, m := range modeNames {
+			fmt.Printf("  %-8s → %s\n", k, m)
+		}
+		return nil
+	}
+
+	mode, ok := modeNames[modeName]
+	if !ok {
+		return fmt.Errorf("unknown mode %q (try -op modes)", modeName)
+	}
+	img, err := lightvm.ImageByName(imageName)
+	if err != nil {
+		return err
+	}
+	if cfgPath != "" {
+		text, err := os.ReadFile(cfgPath)
+		if err != nil {
+			return err
+		}
+		cfg, err := lightvm.ParseVMConfig(string(text))
+		if err != nil {
+			return err
+		}
+		img, err = cfg.ResolveImage()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("using config %s: image=%s memory=%dMB vifs=%d\n",
+			cfgPath, img.Name, img.MemBytes>>20, len(img.Devices))
+	}
+
+	switch op {
+	case "create":
+		host, err := lightvm.NewHost(lightvm.Xeon4, seed)
+		if err != nil {
+			return err
+		}
+		attach(host)
+		if err := host.EnsureFlavor(img, mode); err != nil {
+			return err
+		}
+		var first, last time.Duration
+		for i := 0; i < n; i++ {
+			if err := host.Replenish(); err != nil {
+				return err
+			}
+			vm, err := host.CreateVM(mode, fmt.Sprintf("%s-%d", img.Name, i), img)
+			if err != nil {
+				return err
+			}
+			total := vm.CreateTime + vm.BootTime
+			if i == 0 {
+				first = total
+			}
+			last = total
+		}
+		fmt.Printf("created %d × %s with %s\n", n, img.Name, mode)
+		fmt.Printf("  first create+boot: %v\n", first)
+		fmt.Printf("  last  create+boot: %v\n", last)
+		fmt.Printf("  host memory used:  %.1f MB\n", float64(host.MemoryUsedBytes())/(1<<20))
+		fmt.Printf("  cpu utilization:   %.2f%%\n", host.CPUUtilization()*100)
+		return nil
+
+	case "checkpoint":
+		host, err := lightvm.NewHost(lightvm.Xeon4Ckpt, seed)
+		if err != nil {
+			return err
+		}
+		attach(host)
+		vm, err := host.CreateVM(mode, "ckpt", img)
+		if err != nil {
+			return err
+		}
+		cp, saveT, err := host.Save(vm)
+		if err != nil {
+			return err
+		}
+		_, restT, err := host.Restore(cp)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checkpointed %s with %s\n", img.Name, mode)
+		fmt.Printf("  save:    %v\n", saveT)
+		fmt.Printf("  restore: %v\n", restT)
+		return nil
+
+	case "stats":
+		// xentop-style snapshot: boot a small mixed fleet and list it.
+		host, err := lightvm.NewHost(lightvm.Xeon4, seed)
+		if err != nil {
+			return err
+		}
+		attach(host)
+		if err := host.EnsureFlavor(img, mode); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := host.Replenish(); err != nil {
+				return err
+			}
+			if _, err := host.CreateVM(mode, fmt.Sprintf("%s-%d", img.Name, i), img); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("%-16s %-10s %-9s %10s %8s %7s\n", "NAME", "STATE", "MODE", "MEM(MB)", "CPU(%)", "CORE")
+		for _, vm := range host.Env.AllVMs() {
+			state := "running"
+			if !vm.Booted {
+				state = "paused"
+			}
+			fmt.Printf("%-16s %-10s %-9s %10.1f %8.3f %7d\n",
+				vm.Name, state, vm.Mode, float64(vm.Dom.MemBytes)/(1<<20),
+				vm.Image.UtilDuty*100, vm.Core)
+		}
+		fmt.Printf("\nhost: %d VMs, %.1f MB used, %.2f%% CPU\n",
+			host.VMs(), float64(host.MemoryUsedBytes())/(1<<20), host.CPUUtilization()*100)
+		return nil
+
+	case "console":
+		host, err := lightvm.NewHost(lightvm.Xeon4, seed)
+		if err != nil {
+			return err
+		}
+		attach(host)
+		if err := host.EnsureFlavor(img, mode); err != nil {
+			return err
+		}
+		vm, err := host.CreateVM(mode, img.Name+"-0", img)
+		if err != nil {
+			return err
+		}
+		out, err := host.Env.Console.Read(vm.Dom.ID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("console of %s (domid %d):\n%s", vm.Name, vm.Dom.ID, out)
+		return nil
+
+	case "migrate":
+		clock := lightvm.NewClock()
+		src, err := lightvm.NewHostOn(clock, lightvm.Xeon4Ckpt, seed)
+		if err != nil {
+			return err
+		}
+		attach(src)
+		dst, err := lightvm.NewHostOn(clock, lightvm.Xeon4Ckpt, seed+1)
+		if err != nil {
+			return err
+		}
+		vm, err := src.CreateVM(mode, "mig", img)
+		if err != nil {
+			return err
+		}
+		_, d, err := src.MigrateTo(dst, vm)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("migrated %s with %s in %v\n", img.Name, mode, d)
+		return nil
+	}
+	return fmt.Errorf("unknown op %q", op)
+}

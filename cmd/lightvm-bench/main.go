@@ -1,0 +1,56 @@
+// Command lightvm-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	lightvm-bench -exp fig09            # one figure at paper scale
+//	lightvm-bench -exp all -scale 0.1   # everything, 10% guest counts
+//	lightvm-bench -list
+//
+// Each figure prints as a fixed-width table with the paper's series as
+// columns, followed by calibration notes. Figure numbers follow the
+// paper (fig01..fig18 plus tbl-guests).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lightvm"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (figNN, tbl-guests) or 'all'")
+	scale := flag.Float64("scale", 1.0, "guest-count scale relative to the paper (1.0 = full)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	plot := flag.Bool("plot", false, "render each figure as an ASCII chart too")
+	flag.Parse()
+
+	if *list {
+		for _, id := range lightvm.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = lightvm.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := lightvm.RunExperiment(id, *scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightvm-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s", res.Output)
+		if *plot && res.Plot != "" {
+			fmt.Println(res.Plot)
+		}
+		fmt.Printf("paper: %s\n", res.Paper)
+		fmt.Printf("(generated in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,68 @@
+package lightvm_test
+
+import (
+	"fmt"
+	"strings"
+
+	"lightvm"
+)
+
+// ExampleNewHost boots the daytime unikernel through the full LightVM
+// control plane and prints its (virtual-time) cost.
+func ExampleNewHost() {
+	host, err := lightvm.NewHost(lightvm.Xeon4, 1)
+	if err != nil {
+		panic(err)
+	}
+	img := lightvm.Daytime()
+	if err := host.EnsureFlavor(img, lightvm.ModeLightVM); err != nil {
+		panic(err)
+	}
+	vm, err := host.CreateVM(lightvm.ModeLightVM, "web1", img)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("create+boot: %v\n", vm.CreateTime+vm.BootTime)
+	// Output: create+boot: 4.785312ms
+}
+
+// ExampleRunPython executes the paper's compute-service payload.
+func ExampleRunPython() {
+	out, err := lightvm.RunPython(lightvm.ApproxEProgram)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(out)
+	// Output: 2.7182818284590455
+}
+
+// ExampleBuildTinyx assembles a Tinyx image for nginx.
+func ExampleBuildTinyx() {
+	res, err := lightvm.BuildTinyx("nginx", "xen")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("packages: %v\n", res.Packages)
+	fmt.Printf("kernel dropped: %v\n", res.Kernel.Dropped)
+	// Output:
+	// packages: [busybox libc6 libpcre3 libssl nginx nginx-common zlib1g]
+	// kernel dropped: [CRYPTO DEBUG_INFO EXT4_FS IPV6 NETFILTER PCI SWAP]
+}
+
+// ExampleParseVMConfig parses an xl-format guest configuration.
+func ExampleParseVMConfig() {
+	cfg, err := lightvm.ParseVMConfig(strings.TrimSpace(`
+name   = "web1"
+kernel = "daytime"
+memory = 16
+`))
+	if err != nil {
+		panic(err)
+	}
+	img, err := cfg.ResolveImage()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s with %d MB\n", img.Name, img.MemBytes>>20)
+	// Output: daytime with 16 MB
+}

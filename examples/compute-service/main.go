@@ -1,0 +1,83 @@
+// Lightweight compute service (§7.4): an Amazon-Lambda-like endpoint
+// that spawns a Minipython unikernel per request, runs the submitted
+// program on a real interpreter, and tears the VM down afterwards.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"lightvm"
+)
+
+// jobs a tenant might submit: the paper's e-approximation plus a few
+// more programs, all executed by the embedded MicroPython-subset
+// interpreter.
+var jobs = []struct {
+	name    string
+	program string
+}{
+	{"approx-e", lightvm.ApproxEProgram},
+	{"fibonacci", `
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+print(fib(18))
+`},
+	{"primes", `
+count = 0
+for n in range(2, 200):
+    is_prime = True
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            is_prime = False
+            break
+        d += 1
+    if is_prime:
+        count += 1
+print(count, 'primes below 200')
+`},
+	{"wordcount", `
+words = ['vm', 'container', 'vm', 'unikernel', 'vm']
+total = 0
+for w in words:
+    if w == 'vm':
+        total += 1
+print('vm appears', total, 'times')
+`},
+}
+
+func main() {
+	host, err := lightvm.NewHost(lightvm.Xeon4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := lightvm.Minipython()
+	if err := host.EnsureFlavor(img, lightvm.ModeLightVM); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("lightweight compute service: one Minipython unikernel per request")
+	for i, job := range jobs {
+		if err := host.Replenish(); err != nil {
+			log.Fatal(err)
+		}
+		vm, err := host.CreateVM(lightvm.ModeLightVM, fmt.Sprintf("fn-%d", i), img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := lightvm.RunPython(job.program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s vm up in %8v → %s\n",
+			job.name, vm.CreateTime+vm.BootTime, strings.TrimSpace(out))
+		if err := host.DestroyVM(vm); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\npaper: VM creation stays ~1.3ms with the split toolstack even with hundreds of backlogged requests")
+}

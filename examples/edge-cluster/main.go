@@ -1,0 +1,67 @@
+// Edge-cluster operations (§7.1 at fleet scale): several cell-site
+// machines share one timeline; subscriber firewalls are placed on the
+// least-loaded cell, follow subscribers between cells via live
+// migration, and the fleet rebalances itself after churn.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightvm"
+)
+
+func main() {
+	clock := lightvm.NewClock()
+	fleet := lightvm.NewCluster(clock)
+	for _, cell := range []string{"cell-north", "cell-south", "cell-west"} {
+		if _, err := fleet.AddHost(cell, lightvm.Xeon14, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 30 subscribers attach; the cluster spreads their firewalls.
+	img := lightvm.ClickOSFirewall()
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("fw-sub%02d", i)
+		if _, _, err := fleet.Place(lightvm.ModeChaosNoXS, name, img); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("after attach:")
+	printStats(fleet)
+
+	// Rush hour: the subscribers currently on the north cell drive
+	// south.
+	var totalMS float64
+	moved := 0
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("fw-sub%02d", i)
+		if host, _ := fleet.HostOf(name); host != "cell-north" {
+			continue
+		}
+		d, err := fleet.Move(name, "cell-south")
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalMS += d.Seconds() * 1000
+		moved++
+	}
+	fmt.Printf("\n%d handover migrations done (avg %.1f ms each); after the rush:\n", moved, totalMS/float64(moved))
+	printStats(fleet)
+
+	// The fleet rebalances itself.
+	moves, err := fleet.Rebalance(20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrebalanced with %d migrations:\n", moves)
+	printStats(fleet)
+}
+
+func printStats(fleet *lightvm.Cluster) {
+	for _, st := range fleet.Stats() {
+		fmt.Printf("  %-12s %2d VMs  %8.1f MB  %5.2f%% CPU\n",
+			st.Name, st.VMs, st.MemoryMB, st.CPU*100)
+	}
+}

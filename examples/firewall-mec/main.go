@@ -1,0 +1,85 @@
+// Firewall at the mobile edge (§7.1): per-subscriber ClickOS firewall
+// VMs at a cell site. Subscribers attach (VM boots in ~10 ms), their
+// traffic is filtered by a real rule engine, and when a subscriber
+// moves to the next cell their firewall VM migrates with them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightvm"
+)
+
+func main() {
+	clock := lightvm.NewClock()
+	// Two cell sites, each a modest edge machine.
+	cellA, err := lightvm.NewHostOn(clock, lightvm.Xeon14, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cellB, err := lightvm.NewHostOn(clock, lightvm.Xeon14, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := lightvm.ClickOSFirewall()
+	if err := cellA.EnsureFlavor(img, lightvm.ModeLightVM); err != nil {
+		log.Fatal(err)
+	}
+
+	// Subscribers attach to cell A: one firewall VM each.
+	const subscribers = 20
+	vms := make([]*lightvm.VM, subscribers)
+	fws := make([]*lightvm.Firewall, subscribers)
+	for i := range vms {
+		if err := cellA.Replenish(); err != nil {
+			log.Fatal(err)
+		}
+		vm, err := cellA.CreateVM(lightvm.ModeLightVM, fmt.Sprintf("fw-sub%02d", i), img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vms[i] = vm
+		fw, err := lightvm.NewPersonalFirewall(
+			fmt.Sprintf("10.0.%d.0/24", i),              // the subscriber's range
+			[]string{"203.0.113.0/24", "198.18.0.0/15"}, // their blocklist
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fws[i] = fw
+		if i == 0 {
+			fmt.Printf("subscriber firewall boots in %v (paper: ~10ms)\n",
+				vm.CreateTime+vm.BootTime)
+		}
+	}
+	fmt.Printf("%d personal firewalls running on cell A, %.1f MB of host RAM total\n",
+		subscribers, float64(cellA.MemoryUsedBytes())/(1<<20))
+
+	// Traffic through subscriber 3's firewall.
+	fw := fws[3]
+	cases := []struct {
+		src, dst string
+		port     int
+	}{
+		{"10.0.3.15", "151.101.1.1", 443}, // normal browsing
+		{"203.0.113.50", "10.0.3.15", 22}, // blocklisted scanner
+		{"198.18.0.9", "10.0.3.15", 80},   // benchmark-range junk
+	}
+	for _, c := range cases {
+		verdict, err := fw.FilterStrings(c.src, c.dst, c.port)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %15s → %-15s :%-4d  %v\n", c.src, c.dst, c.port, verdict)
+	}
+
+	// Subscriber 3 drives to the next cell: the firewall follows.
+	moved, d, err := cellA.MigrateTo(cellB, vms[3])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("subscriber 3 handed over: %s migrated A→B in %v (paper: ~150ms over 1Gbps/10ms)\n",
+		moved.Name, d)
+	fmt.Printf("cell A now runs %d firewalls, cell B runs %d\n", cellA.VMs(), cellB.VMs())
+}

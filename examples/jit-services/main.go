@@ -1,0 +1,65 @@
+// Just-in-time service instantiation (§7.2): a VM boots when the
+// first packet for a new client arrives, answers, and is torn down
+// after the client goes idle. Prints the client-perceived latency
+// distribution at several arrival rates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"lightvm"
+)
+
+func main() {
+	rates := []time.Duration{100 * time.Millisecond, 25 * time.Millisecond, 10 * time.Millisecond}
+	const clients = 60
+
+	for _, inter := range rates {
+		host, err := lightvm.NewHost(lightvm.Xeon14, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		img := lightvm.ClickOSFirewall()
+		if err := host.EnsureFlavor(img, lightvm.ModeLightVM); err != nil {
+			log.Fatal(err)
+		}
+		var rtts []time.Duration
+		var vms []*lightvm.VM
+		for k := 0; k < clients; k++ {
+			// Open-loop arrivals: client k's first packet lands at
+			// k×inter of virtual time; if the host is still busy
+			// booting earlier services, this client queues behind
+			// them.
+			arrival := time.Duration(k) * inter
+			if now := time.Duration(host.Clock.Now()); now < arrival {
+				host.Clock.Sleep(arrival - now)
+			}
+			if err := host.Replenish(); err != nil {
+				log.Fatal(err)
+			}
+			vm, err := host.CreateVM(lightvm.ModeLightVM, fmt.Sprintf("svc-%d-%d", inter/time.Millisecond, k), img)
+			if err != nil {
+				log.Fatal(err)
+			}
+			vms = append(vms, vm)
+			// The queued first packet is answered the moment the
+			// service stack is up.
+			ready := time.Duration(host.Clock.Now())
+			rtts = append(rtts, ready-arrival)
+		}
+		// Idle services are torn down after the run (2s inactivity in
+		// the paper's prototype).
+		for _, vm := range vms {
+			if err := host.DestroyVM(vm); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+		fmt.Printf("inter-arrival %5v: median %10v   p90 %10v   max %10v\n",
+			inter, rtts[len(rtts)/2], rtts[len(rtts)*9/10], rtts[len(rtts)-1])
+	}
+	fmt.Println("\npaper @25ms arrivals: median 13ms, p90 20ms; overload appears only at 10ms")
+}

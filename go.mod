@@ -1,0 +1,3 @@
+module lightvm
+
+go 1.22

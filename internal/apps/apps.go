@@ -1,0 +1,64 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"lightvm/internal/minipy"
+	"lightvm/internal/sim"
+)
+
+// Daytime is the §3.1 unikernel's application: "a TCP server over
+// Mini-OS that returns the current time whenever it receives a
+// connection" — 50 LoC in the paper, about that here too.
+type Daytime struct {
+	Clock *sim.Clock
+	// Served counts connections handled.
+	Served uint64
+}
+
+// Serve handles one connection, returning the daytime string.
+func (d *Daytime) Serve() string {
+	d.Served++
+	t := time.Duration(d.Clock.Now())
+	// RFC-867-flavoured: day time since simulation epoch.
+	days := int(t / (24 * time.Hour))
+	t -= time.Duration(days) * 24 * time.Hour
+	h := int(t / time.Hour)
+	t -= time.Duration(h) * time.Hour
+	m := int(t / time.Minute)
+	t -= time.Duration(m) * time.Minute
+	s := int(t / time.Second)
+	return fmt.Sprintf("day %d, %02d:%02d:%02d UTC", days, h, m, s)
+}
+
+// PyFunc is the Minipython compute service payload runner (§7.4):
+// "receives compute service requests (in the form of python programs)
+// and spawns a VM to run the program".
+type PyFunc struct {
+	// Fuel bounds interpreter steps per request.
+	Fuel int
+	// Executed counts completed programs.
+	Executed uint64
+}
+
+// Run executes a program and returns its output.
+func (p *PyFunc) Run(program string) (string, error) {
+	res, err := minipy.Run(program, p.Fuel)
+	if err != nil {
+		return "", fmt.Errorf("apps: pyfunc: %w", err)
+	}
+	p.Executed++
+	return res.Output, nil
+}
+
+// Noop is the empty application of the noop unikernel and Tinyx-noop.
+type Noop struct{}
+
+// Main does nothing, successfully.
+func (Noop) Main() {}
+
+// Known lists the application identifiers used in guest images.
+func Known() []string {
+	return []string{"noop", "daytime", "minipython", "firewall", "tlsproxy"}
+}

@@ -1,0 +1,220 @@
+// Package cluster manages a fleet of LightVM hosts sharing one virtual
+// timeline — the mobile-edge deployment of §7.1, where "one or a few
+// machines" per cell run thousands of per-subscriber VMs and "users
+// enter and leave the cell continuously, so it is critical to be able
+// to instantiate, terminate and migrate personal firewalls quickly and
+// cheaply, following the user through the mobile network".
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"lightvm/internal/core"
+	"lightvm/internal/guest"
+	"lightvm/internal/sched"
+	"lightvm/internal/sim"
+	"lightvm/internal/toolstack"
+)
+
+// Errors.
+var (
+	ErrNoHosts       = errors.New("cluster: no hosts")
+	ErrUnknownHost   = errors.New("cluster: unknown host")
+	ErrUnknownVM     = errors.New("cluster: unknown VM")
+	ErrDuplicateHost = errors.New("cluster: duplicate host")
+)
+
+// Cluster is a set of hosts on one clock with a VM placement table.
+type Cluster struct {
+	Clock *sim.Clock
+
+	hosts     map[string]*core.Host
+	hostNames []string          // insertion order, for deterministic placement
+	placement map[string]string // VM name → host name
+}
+
+// New creates an empty cluster on clock.
+func New(clock *sim.Clock) *Cluster {
+	return &Cluster{
+		Clock:     clock,
+		hosts:     make(map[string]*core.Host),
+		placement: make(map[string]string),
+	}
+}
+
+// AddHost brings a machine into the cluster.
+func (c *Cluster) AddHost(name string, machine sched.Machine, seed uint64) (*core.Host, error) {
+	if _, dup := c.hosts[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateHost, name)
+	}
+	h, err := core.NewHostOn(c.Clock, machine, seed)
+	if err != nil {
+		return nil, err
+	}
+	c.hosts[name] = h
+	c.hostNames = append(c.hostNames, name)
+	return h, nil
+}
+
+// Host returns a member by name.
+func (c *Cluster) Host(name string) (*core.Host, error) {
+	h, ok := c.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	return h, nil
+}
+
+// Hosts lists member names in join order.
+func (c *Cluster) Hosts() []string { return append([]string(nil), c.hostNames...) }
+
+// HostOf reports where a VM runs.
+func (c *Cluster) HostOf(vmName string) (string, error) {
+	host, ok := c.placement[vmName]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownVM, vmName)
+	}
+	return host, nil
+}
+
+// VMs reports the cluster-wide guest count.
+func (c *Cluster) VMs() int { return len(c.placement) }
+
+// pick returns candidate hosts ordered by load: fewest VMs first,
+// most free memory as the tie-breaker, join order as the final tie.
+func (c *Cluster) pick() []string {
+	names := append([]string(nil), c.hostNames...)
+	sort.SliceStable(names, func(i, j int) bool {
+		hi, hj := c.hosts[names[i]], c.hosts[names[j]]
+		if hi.VMs() != hj.VMs() {
+			return hi.VMs() < hj.VMs()
+		}
+		return hi.MemoryUsedBytes() < hj.MemoryUsedBytes()
+	})
+	return names
+}
+
+// Place creates a VM on the least-loaded host, falling back to the
+// next candidate if a host is out of resources. It returns the VM and
+// the host it landed on.
+func (c *Cluster) Place(mode toolstack.Mode, vmName string, img guest.Image) (*toolstack.VM, string, error) {
+	if len(c.hostNames) == 0 {
+		return nil, "", ErrNoHosts
+	}
+	if _, dup := c.placement[vmName]; dup {
+		return nil, "", fmt.Errorf("cluster: VM %q already placed", vmName)
+	}
+	var lastErr error
+	for _, name := range c.pick() {
+		h := c.hosts[name]
+		if err := h.EnsureFlavor(img, mode); err != nil {
+			lastErr = err
+			continue
+		}
+		vm, err := h.CreateVM(mode, vmName, img)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.placement[vmName] = name
+		return vm, name, nil
+	}
+	return nil, "", fmt.Errorf("cluster: no host could place %q: %w", vmName, lastErr)
+}
+
+// Move live-migrates a VM to another host (the subscriber handover).
+func (c *Cluster) Move(vmName, dstName string) (time.Duration, error) {
+	srcName, err := c.HostOf(vmName)
+	if err != nil {
+		return 0, err
+	}
+	dst, err := c.Host(dstName)
+	if err != nil {
+		return 0, err
+	}
+	if srcName == dstName {
+		return 0, fmt.Errorf("cluster: VM %q already on %q", vmName, dstName)
+	}
+	src := c.hosts[srcName]
+	vm, err := src.Env.VM(vmName)
+	if err != nil {
+		return 0, err
+	}
+	_, d, err := src.MigrateTo(dst, vm)
+	if err != nil {
+		return 0, err
+	}
+	c.placement[vmName] = dstName
+	return d, nil
+}
+
+// Destroy removes a VM wherever it runs.
+func (c *Cluster) Destroy(vmName string) error {
+	hostName, err := c.HostOf(vmName)
+	if err != nil {
+		return err
+	}
+	h := c.hosts[hostName]
+	vm, err := h.Env.VM(vmName)
+	if err != nil {
+		return err
+	}
+	if err := h.DestroyVM(vm); err != nil {
+		return err
+	}
+	delete(c.placement, vmName)
+	return nil
+}
+
+// HostStat is one member's load summary.
+type HostStat struct {
+	Name     string
+	VMs      int
+	MemoryMB float64
+	CPU      float64
+}
+
+// Stats summarizes every member in join order.
+func (c *Cluster) Stats() []HostStat {
+	out := make([]HostStat, 0, len(c.hostNames))
+	for _, name := range c.hostNames {
+		h := c.hosts[name]
+		out = append(out, HostStat{
+			Name:     name,
+			VMs:      h.VMs(),
+			MemoryMB: float64(h.MemoryUsedBytes()) / (1 << 20),
+			CPU:      h.CPUUtilization(),
+		})
+	}
+	return out
+}
+
+// Rebalance migrates VMs from the most- to the least-loaded host until
+// their VM counts differ by at most one, returning the number of moves
+// (a maintenance operation LightVM's 60 ms migrations make routine).
+func (c *Cluster) Rebalance(maxMoves int) (int, error) {
+	moves := 0
+	for moves < maxMoves {
+		order := c.pick()
+		if len(order) < 2 {
+			return moves, nil
+		}
+		least, most := order[0], order[len(order)-1]
+		if c.hosts[most].VMs()-c.hosts[least].VMs() <= 1 {
+			return moves, nil
+		}
+		// Move an arbitrary (first by name) VM off the hottest host.
+		vms := c.hosts[most].Env.AllVMs()
+		if len(vms) == 0 {
+			return moves, nil
+		}
+		if _, err := c.Move(vms[0].Name, least); err != nil {
+			return moves, err
+		}
+		moves++
+	}
+	return moves, nil
+}

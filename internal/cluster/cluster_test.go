@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lightvm/internal/guest"
+	"lightvm/internal/sched"
+	"lightvm/internal/sim"
+	"lightvm/internal/toolstack"
+)
+
+func newCluster(t *testing.T, hosts int) *Cluster {
+	t.Helper()
+	c := New(sim.NewClock())
+	for i := 0; i < hosts; i++ {
+		if _, err := c.AddHost(fmt.Sprintf("cell-%d", i), sched.Xeon4Ckpt, uint64(i)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestPlaceBalancesLoad(t *testing.T) {
+	c := newCluster(t, 3)
+	for i := 0; i < 9; i++ {
+		_, host, err := c.Place(toolstack.ModeChaosNoXS, fmt.Sprintf("fw%d", i), guest.ClickOSFirewall())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if host == "" {
+			t.Fatal("no host reported")
+		}
+	}
+	for _, st := range c.Stats() {
+		if st.VMs != 3 {
+			t.Fatalf("unbalanced placement: %+v", c.Stats())
+		}
+	}
+	if c.VMs() != 9 {
+		t.Fatalf("cluster VMs = %d", c.VMs())
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	empty := New(sim.NewClock())
+	if _, _, err := empty.Place(toolstack.ModeChaosNoXS, "x", guest.Noop()); !errors.Is(err, ErrNoHosts) {
+		t.Fatalf("place on empty cluster: %v", err)
+	}
+	c := newCluster(t, 1)
+	if _, _, err := c.Place(toolstack.ModeChaosNoXS, "dup", guest.Noop()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Place(toolstack.ModeChaosNoXS, "dup", guest.Noop()); err == nil {
+		t.Fatal("duplicate VM name accepted")
+	}
+}
+
+func TestAddHostDuplicate(t *testing.T) {
+	c := newCluster(t, 1)
+	if _, err := c.AddHost("cell-0", sched.Xeon4, 9); !errors.Is(err, ErrDuplicateHost) {
+		t.Fatalf("duplicate host: %v", err)
+	}
+	if _, err := c.Host("nonesuch"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("unknown host: %v", err)
+	}
+}
+
+func TestMoveFollowsSubscriber(t *testing.T) {
+	c := newCluster(t, 2)
+	_, src, err := c.Place(toolstack.ModeChaosNoXS, "fw-alice", guest.ClickOSFirewall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := "cell-1"
+	if src == dst {
+		dst = "cell-0"
+	}
+	d, err := c.Move("fw-alice", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("zero migration time")
+	}
+	got, err := c.HostOf("fw-alice")
+	if err != nil || got != dst {
+		t.Fatalf("HostOf = %q, %v", got, err)
+	}
+	// Source no longer holds it.
+	srcHost, _ := c.Host(src)
+	if srcHost.VMs() != 0 {
+		t.Fatal("source still holds the VM")
+	}
+	// Moving to the same host is rejected.
+	if _, err := c.Move("fw-alice", dst); err == nil {
+		t.Fatal("same-host move accepted")
+	}
+	if _, err := c.Move("ghost", dst); !errors.Is(err, ErrUnknownVM) {
+		t.Fatalf("unknown VM move: %v", err)
+	}
+}
+
+func TestDestroyUpdatesPlacement(t *testing.T) {
+	c := newCluster(t, 2)
+	if _, _, err := c.Place(toolstack.ModeChaosNoXS, "gone", guest.Daytime()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Destroy("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if c.VMs() != 0 {
+		t.Fatal("placement table not updated")
+	}
+	if err := c.Destroy("gone"); !errors.Is(err, ErrUnknownVM) {
+		t.Fatalf("double destroy: %v", err)
+	}
+}
+
+func TestPlaceFallsBackWhenHostFull(t *testing.T) {
+	c := New(sim.NewClock())
+	// One tiny host that fills quickly plus one big host.
+	if _, err := c.AddHost("tiny", sched.Machine{Name: "tiny", Cores: 4, Dom0Cores: 1, MemoryGB: 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHost("big", sched.Machine{Name: "big", Cores: 4, Dom0Cores: 1, MemoryGB: 64}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Debian guests exhaust the tiny host after a few placements; the
+	// cluster must keep placing on the big one.
+	placedOnBig := 0
+	for i := 0; i < 12; i++ {
+		_, host, err := c.Place(toolstack.ModeChaosNoXS, fmt.Sprintf("d%d", i), guest.DebianMinimal())
+		if err != nil {
+			t.Fatalf("placement %d failed: %v", i, err)
+		}
+		if host == "big" {
+			placedOnBig++
+		}
+	}
+	if placedOnBig == 0 {
+		t.Fatal("fallback host never used")
+	}
+	if c.VMs() != 12 {
+		t.Fatalf("cluster VMs = %d", c.VMs())
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	c := newCluster(t, 2)
+	// Load everything onto cell-0 by placing while cell-1 is absent…
+	// instead: place 6, then move all to cell-0 to create imbalance.
+	for i := 0; i < 6; i++ {
+		if _, _, err := c.Place(toolstack.ModeChaosNoXS, fmt.Sprintf("v%d", i), guest.Daytime()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("v%d", i)
+		if h, _ := c.HostOf(name); h != "cell-0" {
+			if _, err := c.Move(name, "cell-0"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	moves, err := c.Rebalance(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Fatal("rebalance made no moves")
+	}
+	stats := c.Stats()
+	diff := stats[0].VMs - stats[1].VMs
+	if diff < -1 || diff > 1 {
+		t.Fatalf("still unbalanced: %+v", stats)
+	}
+	// A balanced cluster needs no further moves.
+	again, err := c.Rebalance(10)
+	if err != nil || again != 0 {
+		t.Fatalf("rebalance on balanced cluster: %d moves, %v", again, err)
+	}
+}

@@ -1,0 +1,86 @@
+package console
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWriteRead(t *testing.T) {
+	d := NewDaemon()
+	d.Attach(3)
+	if err := d.Write(3, "booting daytime\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Writef(3, "ready in %dms\n", 4); err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "booting daytime") || !strings.Contains(out, "ready in 4ms") {
+		t.Fatalf("console = %q", out)
+	}
+}
+
+func TestNoConsole(t *testing.T) {
+	d := NewDaemon()
+	if err := d.Write(9, "x"); !errors.Is(err, ErrNoConsole) {
+		t.Fatalf("write without attach: %v", err)
+	}
+	if _, err := d.Read(9); !errors.Is(err, ErrNoConsole) {
+		t.Fatalf("read without attach: %v", err)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	d := NewDaemon()
+	d.Attach(1)
+	first := strings.Repeat("A", 1000)
+	_ = d.Write(1, first)
+	_ = d.Write(1, strings.Repeat("B", RingSize))
+	out, _ := d.Read(1)
+	if strings.Contains(out, "A") {
+		t.Fatal("oldest bytes survived overflow")
+	}
+	if !strings.Contains(out, "bytes dropped") {
+		t.Fatal("drop marker missing")
+	}
+	if len(out) > RingSize+64 {
+		t.Fatalf("ring exceeded capacity: %d", len(out))
+	}
+}
+
+func TestTail(t *testing.T) {
+	d := NewDaemon()
+	d.Attach(2)
+	_ = d.Write(2, "l1\nl2\nl3\nl4\n")
+	got, err := d.Tail(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "l3\nl4" {
+		t.Fatalf("tail = %q", got)
+	}
+	// Tail larger than content returns everything.
+	all, _ := d.Tail(2, 100)
+	if !strings.HasPrefix(all, "l1") {
+		t.Fatalf("full tail = %q", all)
+	}
+}
+
+func TestDetachAndDomains(t *testing.T) {
+	d := NewDaemon()
+	d.Attach(5)
+	d.Attach(2)
+	d.Attach(5) // idempotent
+	ids := d.Domains()
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 5 {
+		t.Fatalf("domains = %v", ids)
+	}
+	d.Detach(5)
+	if len(d.Domains()) != 1 {
+		t.Fatal("detach ineffective")
+	}
+}

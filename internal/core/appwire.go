@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"lightvm/internal/apps"
+	"lightvm/internal/hv"
+	"lightvm/internal/toolstack"
+	"lightvm/internal/vnet"
+)
+
+// wireApp installs the guest application's packet handler on the VM's
+// first vif, so freshly booted guests answer traffic on the host's
+// software switch without per-experiment plumbing. Every networked
+// guest answers ICMP echoes (the §7.1/§7.2 ping clients); application
+// behaviour rides on top.
+func (h *Host) wireApp(vm *toolstack.VM) error {
+	vif := vifName(vm)
+	if vif == "" {
+		return nil // no network device (e.g. the noop unikernel)
+	}
+	reply := func(p vnet.Packet) {
+		if p.Kind == vnet.PktICMPEcho {
+			h.Switch.Send(vnet.Packet{Src: vif, Dst: p.Src, Kind: vnet.PktICMPReply, Size: p.Size, Seq: p.Seq})
+		}
+	}
+	var handler vnet.Handler
+	switch vm.Image.App {
+	case "daytime":
+		d := &apps.Daytime{Clock: h.Clock}
+		h.appOf[vm.Name] = d
+		handler = func(p vnet.Packet) {
+			reply(p)
+			if p.Kind == vnet.PktTCP {
+				d.Serve()
+			}
+		}
+	case "firewall":
+		fw, err := apps.NewPersonalFirewall("10.0.0.0/8", []string{"203.0.113.0/24"})
+		if err != nil {
+			return err
+		}
+		h.appOf[vm.Name] = fw
+		handler = func(p vnet.Packet) {
+			reply(p)
+			if p.Kind == vnet.PktUDP || p.Kind == vnet.PktTCP {
+				// Classify on the flow's synthetic addresses: the Seq
+				// low bits stand in for the 5-tuple hash in this model.
+				src := uint32(0x0a000001 + p.Seq%1024)
+				dst := uint32(0xc6336401)
+				fw.Filter(src, dst, 443)
+			}
+		}
+	case "minipython":
+		pf := &apps.PyFunc{}
+		h.appOf[vm.Name] = pf
+		handler = reply
+	default:
+		handler = reply
+	}
+	if err := h.Switch.SetHandler(vif, handler); err != nil {
+		return fmt.Errorf("core: wire %s app on %s: %w", vm.Image.App, vif, err)
+	}
+	return nil
+}
+
+// vifName returns the VM's first vif port name, or "" when it has no
+// network device.
+func vifName(vm *toolstack.VM) string {
+	for _, d := range vm.Image.Devices {
+		if d.Kind == hv.DevVif {
+			return fmt.Sprintf("vif%d.0", vm.Dom.ID)
+		}
+	}
+	return ""
+}
+
+// AppOf returns the application instance wired to a VM (e.g.
+// *apps.Daytime, *apps.Firewall), or nil.
+func (h *Host) AppOf(name string) interface{} { return h.appOf[name] }
+
+// Ping sends an ICMP echo from a transient client port to the VM's
+// vif and reports whether it answered (booted guests with a network
+// device always do).
+func (h *Host) Ping(vm *toolstack.VM) bool {
+	vif := vifName(vm)
+	if vif == "" {
+		return false
+	}
+	const probe = "ping-probe"
+	if _, attached := h.pingPort[probe]; !attached {
+		if err := h.Switch.AttachPort(probe); err == nil {
+			h.pingPort[probe] = true
+		}
+	}
+	h.pingSeq++
+	return h.Switch.Ping(probe, vif, h.pingSeq)
+}

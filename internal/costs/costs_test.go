@@ -1,0 +1,129 @@
+package costs
+
+import (
+	"testing"
+	"time"
+)
+
+// The paper's argument rests on a handful of cost orderings. These
+// tests pin them so a recalibration cannot silently invert a claim.
+
+func TestHotplugOrdering(t *testing.T) {
+	// §5.3: bash hotplug is "tens of milliseconds"; xendevd avoids
+	// forking entirely.
+	if HotplugBashScript < 10*time.Millisecond {
+		t.Fatalf("bash hotplug %v below tens of ms", HotplugBashScript)
+	}
+	if HotplugXendevd*20 > HotplugBashScript {
+		t.Fatalf("xendevd (%v) not ≫ cheaper than bash (%v)", HotplugXendevd, HotplugBashScript)
+	}
+}
+
+func TestStoreVsNoxsDevicePath(t *testing.T) {
+	// One store op costs at least the protocol floor; a noxs device
+	// page write is a single hypercall-class operation.
+	storeOp := XSRequestInterrupts*SoftIRQ + XSRequestCrossings*DomainCrossing + XSProcess
+	if NoxsDevicePageWrite >= storeOp {
+		t.Fatalf("noxs write (%v) not cheaper than one store op (%v)", NoxsDevicePageWrite, storeOp)
+	}
+	// The fork comparison from §5: a store interaction involves many
+	// more privilege crossings than fork's single one.
+	if XSRequestInterrupts+XSRequestCrossings < 4 {
+		t.Fatal("store op should involve several crossings")
+	}
+}
+
+func TestSuspendPathOrdering(t *testing.T) {
+	// The sysctl split device exists to replace the store-mediated
+	// shutdown handshake.
+	if SuspendHandshakeSysctl*5 > SuspendHandshakeXS {
+		t.Fatalf("sysctl suspend (%v) not ≪ store suspend (%v)",
+			SuspendHandshakeSysctl, SuspendHandshakeXS)
+	}
+}
+
+func TestGuestFootprintOrderings(t *testing.T) {
+	if !(MemDaytimeMB < MemTinyxMB && MemTinyxMB < MemDebianMB) {
+		t.Fatal("runtime memory ordering violated")
+	}
+	if !(ImgDaytimeKB*1024 < uint64(ImgTinyxMB*1024*1024)) {
+		t.Fatal("image size ordering violated")
+	}
+	if !(BootUnikernelNoop < BootUnikernelDaytime &&
+		BootUnikernelDaytime < BootTinyx && BootTinyx < BootDebian) {
+		t.Fatal("boot work ordering violated")
+	}
+}
+
+func TestIdleLoadOrderings(t *testing.T) {
+	if !(DebianWakeRatePerSec > TinyxWakeRatePerSec) {
+		t.Fatal("wake rate ordering violated")
+	}
+	if !(DebianUtilDuty > TinyxUtilDuty && TinyxUtilDuty > UnikernelUtilDuty &&
+		UnikernelUtilDuty > DockerUtilDuty) {
+		t.Fatal("utilization duty ordering violated (Fig. 15)")
+	}
+	// Fig. 15 calibration: 1000 Debian guests ≈ 1 core ≈ 25% of 4.
+	if total := 1000 * DebianUtilDuty / 4; total < 0.2 || total > 0.3 {
+		t.Fatalf("1000 debian guests = %.3f of a 4-core box, want ≈0.25", total)
+	}
+}
+
+func TestLoadSlopeMatchesFig2(t *testing.T) {
+	// Fig. 2: ~1 s at 1000 MB.
+	perGB := 1000 * (ImageLoadPerMB + MemReservePerMB)
+	if perGB < 700*time.Millisecond || perGB > 1300*time.Millisecond {
+		t.Fatalf("1 GB image handling = %v, want ≈1s", perGB)
+	}
+}
+
+func TestProcessBaseline(t *testing.T) {
+	if ForkExec != 3500*time.Microsecond {
+		t.Fatalf("fork/exec = %v, paper says 3.5ms", ForkExec)
+	}
+	if ForkExecP90 != 9*time.Millisecond {
+		t.Fatalf("fork/exec p90 = %v, paper says 9ms", ForkExecP90)
+	}
+}
+
+func TestTLSCapacityCalibration(t *testing.T) {
+	// §7.3: ~1400 req/s on 14 cores ⇒ ~10ms per request.
+	rps := 14 / TLSHandshakeRSA1024.Seconds()
+	if rps < 1200 || rps > 1600 {
+		t.Fatalf("TLS capacity = %.0f req/s, want ≈1400", rps)
+	}
+	if LwipIneffFactor != 5.0 {
+		t.Fatalf("lwip factor = %v, paper says 5×", LwipIneffFactor)
+	}
+}
+
+func TestLogRotationThreshold(t *testing.T) {
+	if XSLogRotateLines != 13215 {
+		t.Fatalf("rotation threshold = %d, paper says 13,215 lines", XSLogRotateLines)
+	}
+	if XSLogFiles != 20 {
+		t.Fatalf("log files = %d, paper says 20", XSLogFiles)
+	}
+}
+
+func TestMigrationWireRate(t *testing.T) {
+	// §7.1: 1 Gbps link; a ClickOS VM (8MB) should cross in well
+	// under the quoted 150ms total.
+	mb := 8.0
+	wire := time.Duration(mb / MigrationWireMBps * float64(time.Second))
+	if wire > 120*time.Millisecond {
+		t.Fatalf("8MB transfer = %v, too slow for the 150ms budget", wire)
+	}
+}
+
+func TestComputeServiceCalibration(t *testing.T) {
+	// §7.4: jobs ≈0.8s; 3 worker cores at 250ms arrivals ⇒ demand 4/s
+	// vs capacity 3.75/s — the system must be slightly overloaded.
+	capacity := 3 / MinipyEApprox.Seconds()
+	if capacity >= 4 {
+		t.Fatalf("compute capacity %.2f/s not overloaded by 4/s arrivals", capacity)
+	}
+	if capacity < 3 {
+		t.Fatalf("compute capacity %.2f/s too low to be 'slightly' overloaded", capacity)
+	}
+}

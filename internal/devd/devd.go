@@ -1,0 +1,104 @@
+// Package devd models the two ways Xen plumbs a freshly created
+// virtual interface into the Dom0 software switch (paper §5.3):
+//
+//   - BashScripts: stock Xen, where xl or udevd fork+exec a bash
+//     hotplug script per device — "a slow process taking tens of
+//     milliseconds, considerably slowing down the boot process".
+//   - Xendevd: LightVM's binary daemon that "listens for udev events
+//     from the backends and executes a pre-defined setup without
+//     forking or bash scripts".
+//
+// Both paths end by attaching the port to the bridge; the difference
+// is purely dispatch overhead, making this the cleanest ablation in
+// the system.
+package devd
+
+import (
+	"fmt"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/sim"
+)
+
+// PortAttacher is the bridge-facing half: the software switch (or a
+// test fake) implements it.
+type PortAttacher interface {
+	AttachPort(name string) error
+	DetachPort(name string) error
+}
+
+// Hotplug sets up and tears down guest vifs in Dom0.
+type Hotplug interface {
+	// Setup plumbs the named vif (e.g. "vif3.0") into the switch.
+	Setup(vif string) error
+	// Teardown removes it.
+	Teardown(vif string) error
+	// Name identifies the mechanism for logs and breakdowns.
+	Name() string
+}
+
+// BashScripts is the stock xl/udevd hotplug path.
+type BashScripts struct {
+	Clock  *sim.Clock
+	Bridge PortAttacher
+	// Invocations counts script executions (fork+exec pairs).
+	Invocations int
+}
+
+// Name implements Hotplug.
+func (b *BashScripts) Name() string { return "bash-hotplug" }
+
+// Setup forks a shell, runs the script, and attaches the port.
+func (b *BashScripts) Setup(vif string) error {
+	b.Invocations++
+	b.Clock.Sleep(costs.HotplugBashScript + costs.VifBridgeAttach)
+	if err := b.Bridge.AttachPort(vif); err != nil {
+		return fmt.Errorf("devd: bash hotplug %s: %w", vif, err)
+	}
+	return nil
+}
+
+// Teardown forks the script again with the offline argument.
+func (b *BashScripts) Teardown(vif string) error {
+	b.Invocations++
+	b.Clock.Sleep(costs.HotplugBashScript)
+	return b.Bridge.DetachPort(vif)
+}
+
+// Xendevd is LightVM's in-process setup daemon.
+type Xendevd struct {
+	Clock  *sim.Clock
+	Bridge PortAttacher
+	// Events counts udev events handled.
+	Events int
+}
+
+// Name implements Hotplug.
+func (x *Xendevd) Name() string { return "xendevd" }
+
+// Setup handles the udev event with the pre-defined binary path.
+func (x *Xendevd) Setup(vif string) error {
+	x.Events++
+	x.Clock.Sleep(costs.HotplugXendevd + costs.VifBridgeAttach)
+	if err := x.Bridge.AttachPort(vif); err != nil {
+		return fmt.Errorf("devd: xendevd %s: %w", vif, err)
+	}
+	return nil
+}
+
+// Teardown removes the port without forking.
+func (x *Xendevd) Teardown(vif string) error {
+	x.Events++
+	x.Clock.Sleep(costs.HotplugXendevd)
+	return x.Bridge.DetachPort(vif)
+}
+
+// NullBridge is a PortAttacher that accepts everything; used where the
+// experiment doesn't care about the data plane.
+type NullBridge struct{ Ports int }
+
+// AttachPort implements PortAttacher.
+func (n *NullBridge) AttachPort(string) error { n.Ports++; return nil }
+
+// DetachPort implements PortAttacher.
+func (n *NullBridge) DetachPort(string) error { n.Ports--; return nil }

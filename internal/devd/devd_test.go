@@ -1,0 +1,53 @@
+package devd
+
+import (
+	"testing"
+	"time"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/sim"
+)
+
+func TestBashScriptsChargesForkExecCost(t *testing.T) {
+	clock := sim.NewClock()
+	br := &NullBridge{}
+	hp := &BashScripts{Clock: clock, Bridge: br}
+	if err := hp.Setup("vif1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now().Sub(0) < costs.HotplugBashScript {
+		t.Fatalf("bash setup charged %v, want ≥%v", clock.Now(), costs.HotplugBashScript)
+	}
+	if br.Ports != 1 || hp.Invocations != 1 {
+		t.Fatalf("ports=%d invocations=%d", br.Ports, hp.Invocations)
+	}
+	if err := hp.Teardown("vif1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if br.Ports != 0 || hp.Invocations != 2 {
+		t.Fatalf("after teardown: ports=%d invocations=%d", br.Ports, hp.Invocations)
+	}
+}
+
+func TestXendevdMuchCheaperThanBash(t *testing.T) {
+	c1, c2 := sim.NewClock(), sim.NewClock()
+	bash := &BashScripts{Clock: c1, Bridge: &NullBridge{}}
+	xd := &Xendevd{Clock: c2, Bridge: &NullBridge{}}
+	for i := 0; i < 10; i++ {
+		if err := bash.Setup("vifX"); err != nil {
+			t.Fatal(err)
+		}
+		if err := xd.Setup("vifX"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if time.Duration(c2.Now()) >= time.Duration(c1.Now())/10 {
+		t.Fatalf("xendevd (%v) not ≥10× cheaper than bash (%v)", c2.Now(), c1.Now())
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&BashScripts{}).Name() != "bash-hotplug" || (&Xendevd{}).Name() != "xendevd" {
+		t.Fatal("hotplug names wrong")
+	}
+}

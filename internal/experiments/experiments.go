@@ -1,0 +1,107 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§4, §6, §7). Each generator builds the full
+// system on a simulated testbed machine, runs the paper's workload,
+// and returns a metrics.Table whose rows mirror the original plot's
+// series. Figure numbers follow the paper.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Scale multiplies the paper's guest counts (1.0 = full scale,
+	// e.g. 1000 VMs for Fig. 9 and 8000 for Fig. 10). Tests use small
+	// scales; the bench harness runs 1.0.
+	Scale float64
+	// Seed drives all randomized workload choices.
+	Seed uint64
+	// Samples is the number of measurement points along the x axis
+	// (0 = default 20).
+	Samples int
+}
+
+// normalize applies defaults.
+func (o Options) normalize() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Samples <= 0 {
+		o.Samples = 20
+	}
+	return o
+}
+
+// scaled returns max(lo, round(n×Scale)).
+func (o Options) scaled(n int, lo int) int {
+	v := int(float64(n) * o.Scale)
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// samplePoints returns ~Samples x-axis counts from 1..n inclusive.
+func (o Options) samplePoints(n int) []int {
+	if n <= o.Samples {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out
+	}
+	step := n / o.Samples
+	var out []int
+	for v := step; v <= n; v += step {
+		out = append(out, v)
+	}
+	if out[len(out)-1] != n {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Generator produces one figure/table.
+type Generator func(Options) (Result, error)
+
+// Result is a generated figure with its paper reference.
+type Result struct {
+	ID    string
+	Paper string // what the paper reports, for EXPERIMENTS.md
+	Table fmt.Stringer
+}
+
+// registry of all experiments.
+var registry = map[string]Generator{}
+
+// register adds a generator (called from init functions).
+func register(id string, g Generator) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = g
+}
+
+// IDs lists registered experiment identifiers in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, o Options) (Result, error) {
+	g, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return g(o.normalize())
+}

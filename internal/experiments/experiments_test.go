@@ -1,0 +1,456 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lightvm/internal/metrics"
+)
+
+// smallOpts keeps test runs quick; shapes must already hold at this
+// scale.
+var smallOpts = Options{Scale: 0.06, Seed: 7, Samples: 6}
+
+func runTable(t *testing.T, id string) *metrics.Table {
+	t.Helper()
+	res, err := Run(id, smallOpts)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", id, err)
+	}
+	tab, ok := res.Table.(*metrics.Table)
+	if !ok {
+		t.Fatalf("%s result is not a table", id)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	if res.ID != id || res.Paper == "" {
+		t.Fatalf("%s metadata wrong: %+v", id, res)
+	}
+	return tab
+}
+
+func col(t *testing.T, tab *metrics.Table, name string) []float64 {
+	t.Helper()
+	v, err := tab.Column(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig01", "fig02", "fig04", "fig05", "fig09", "fig10", "fig11",
+		"fig12a", "fig12b", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c",
+		"fig17", "fig18", "tbl-guests",
+		"ext-dedup", "ext-cxenstored", "ext-icc", "ext-ukvm", "ext-clone", "ext-throughput"}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Fatalf("experiment %s not registered (have %v)", w, ids)
+		}
+	}
+	if _, err := Run("nonesuch", smallOpts); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig01Shape(t *testing.T) {
+	tab := runTable(t, "fig01")
+	counts := col(t, tab, "syscalls")
+	if !metrics.Monotone(counts) {
+		t.Fatal("syscall counts must be non-decreasing")
+	}
+	if counts[0] > 260 || counts[len(counts)-1] < 380 {
+		t.Fatalf("range %v → %v", counts[0], counts[len(counts)-1])
+	}
+}
+
+func TestFig02Linear(t *testing.T) {
+	tab := runTable(t, "fig02")
+	mb := col(t, tab, "image_mb")
+	ms := col(t, tab, "boot_ms")
+	if !metrics.Monotone(ms) {
+		t.Fatal("boot time must grow with image size")
+	}
+	// Slope ≈ 1 ms/MB: between first and last sample.
+	slope := (ms[len(ms)-1] - ms[0]) / (mb[len(mb)-1] - mb[0])
+	if slope < 0.5 || slope > 2 {
+		t.Fatalf("slope = %.2f ms/MB, want ≈1", slope)
+	}
+}
+
+func TestFig04Ordering(t *testing.T) {
+	tab := runTable(t, "fig04")
+	last := tab.Rows[len(tab.Rows)-1]
+	get := func(name string) float64 {
+		for i, c := range tab.Columns {
+			if c == name {
+				return last[i]
+			}
+		}
+		t.Fatalf("no column %s", name)
+		return 0
+	}
+	if !(get("debian_create_ms") > get("tinyx_create_ms") && get("tinyx_create_ms") > get("unikernel_create_ms")) {
+		t.Fatalf("create ordering violated: %v", last)
+	}
+	if !(get("debian_boot_ms") > get("tinyx_boot_ms") && get("tinyx_boot_ms") > get("unikernel_boot_ms")) {
+		t.Fatalf("boot ordering violated: %v", last)
+	}
+	if get("process_ms") > get("docker_run_ms") {
+		t.Fatalf("process slower than docker: %v", last)
+	}
+	// Creation grows with N for the VMs.
+	deb := col(t, tab, "debian_create_ms")
+	if deb[len(deb)-1] <= deb[0] {
+		t.Fatal("debian creation flat")
+	}
+}
+
+func TestFig05XenstoreGrowsDevicesFlat(t *testing.T) {
+	tab := runTable(t, "fig05")
+	xs := col(t, tab, "xenstore_ms")
+	dev := col(t, tab, "devices_ms")
+	if xs[len(xs)-1] <= xs[0]*1.2 {
+		t.Fatalf("xenstore category flat: %v → %v", xs[0], xs[len(xs)-1])
+	}
+	if dev[len(dev)-1] > dev[0]*1.6 {
+		t.Fatalf("devices category grew: %v → %v", dev[0], dev[len(dev)-1])
+	}
+}
+
+func TestFig09OrderingAtScale(t *testing.T) {
+	tab := runTable(t, "fig09")
+	last := tab.Rows[len(tab.Rows)-1]
+	// n, xl, chaos_xs, chaos_split, chaos_noxs, lightvm
+	xl, cxs, csplit, cnoxs, lv := last[1], last[2], last[3], last[4], last[5]
+	if !(xl > cxs && cxs > csplit && csplit > cnoxs && cnoxs >= lv) {
+		t.Fatalf("mode ordering violated at N=%v: xl=%v cxs=%v split=%v noxs=%v lv=%v",
+			last[0], xl, cxs, csplit, cnoxs, lv)
+	}
+	// LightVM flat: last ≤ 1.5× first.
+	lvCol := col(t, tab, "lightvm_ms")
+	if lvCol[len(lvCol)-1] > 1.5*lvCol[0] {
+		t.Fatalf("lightvm not flat: %v → %v", lvCol[0], lvCol[len(lvCol)-1])
+	}
+	// xl grows markedly.
+	xlCol := col(t, tab, "xl_ms")
+	if xlCol[len(xlCol)-1] < 1.5*xlCol[0] {
+		t.Fatalf("xl did not grow: %v → %v", xlCol[0], xlCol[len(xlCol)-1])
+	}
+}
+
+func TestFig10LightVMFlatDockerGrows(t *testing.T) {
+	tab := runTable(t, "fig10")
+	lv := col(t, tab, "lightvm_ms")
+	dk := col(t, tab, "docker_ms")
+	if lv[len(lv)-1] > 2*lv[0] {
+		t.Fatalf("lightvm grew on the 64-core box: %v → %v", lv[0], lv[len(lv)-1])
+	}
+	// Docker present at small scale (wall only at full scale) and
+	// growing.
+	lastD := -1.0
+	for _, v := range dk {
+		if v >= 0 {
+			lastD = v
+		}
+	}
+	if lastD <= dk[0] {
+		t.Fatalf("docker flat: %v → %v", dk[0], lastD)
+	}
+}
+
+func TestFig11TinyxClimbsUnikernelFlat(t *testing.T) {
+	tab := runTable(t, "fig11")
+	uni := col(t, tab, "unikernel_ms")
+	tx := col(t, tab, "tinyx_ms")
+	if uni[len(uni)-1] > 1.5*uni[0] {
+		t.Fatalf("unikernel boots dilated: %v → %v", uni[0], uni[len(uni)-1])
+	}
+	if tx[len(tx)-1] <= tx[0] {
+		t.Fatalf("tinyx boots flat: %v → %v", tx[0], tx[len(tx)-1])
+	}
+	// Ordering at every point: unikernel < tinyx.
+	for i := range uni {
+		if uni[i] >= tx[i] {
+			t.Fatalf("unikernel ≥ tinyx at row %d", i)
+		}
+	}
+}
+
+func TestFig12CheckpointOrdering(t *testing.T) {
+	save := runTable(t, "fig12a")
+	rest := runTable(t, "fig12b")
+	for _, tab := range []*metrics.Table{save, rest} {
+		xl := col(t, tab, "xl_ms")
+		lv := col(t, tab, "lightvm_ms")
+		for i := range xl {
+			if xl[i] <= lv[i] {
+				t.Fatalf("%s: xl (%v) ≤ lightvm (%v) at row %d", tab.Title, xl[i], lv[i], i)
+			}
+		}
+	}
+	// Restore: xl is dramatically worse (~550 vs ~20ms).
+	xl := col(t, rest, "xl_ms")
+	lv := col(t, rest, "lightvm_ms")
+	if xl[0] < 5*lv[0] {
+		t.Fatalf("xl restore (%v) not ≫ lightvm (%v)", xl[0], lv[0])
+	}
+}
+
+func TestFig13MigrationFlatForLightVM(t *testing.T) {
+	tab := runTable(t, "fig13")
+	lv := col(t, tab, "lightvm_ms")
+	if lv[len(lv)-1] > 1.6*lv[0] {
+		t.Fatalf("lightvm migration grew: %v → %v", lv[0], lv[len(lv)-1])
+	}
+	// chaos[XS] beats LightVM at the first (low-N) point.
+	cxs := col(t, tab, "chaos_xs_ms")
+	if cxs[0] >= lv[0] {
+		t.Fatalf("chaos[XS] (%v) not faster than LightVM (%v) at low N", cxs[0], lv[0])
+	}
+}
+
+func TestFig14MemoryOrdering(t *testing.T) {
+	tab := runTable(t, "fig14")
+	last := tab.Rows[len(tab.Rows)-1]
+	// n, debian, tinyx, docker, minipython, process
+	deb, tx, dk, mp, pr := last[1], last[2], last[3], last[4], last[5]
+	if !(deb > tx && tx > mp && mp > dk && dk > pr) {
+		t.Fatalf("memory ordering violated: deb=%v tx=%v docker=%v mp=%v proc=%v", deb, tx, dk, mp, pr)
+	}
+	// Per-instance magnitudes: debian ≈111MB, tinyx ≈30MB, docker ≈5MB.
+	n := last[0]
+	if per := deb / n; per < 90 || per > 140 {
+		t.Fatalf("debian per-VM = %.1f MB", per)
+	}
+	if per := dk / n; per < 3 || per > 9 {
+		t.Fatalf("docker per-container = %.1f MB", per)
+	}
+}
+
+func TestFig15UtilizationOrdering(t *testing.T) {
+	tab := runTable(t, "fig15")
+	last := tab.Rows[len(tab.Rows)-1]
+	deb, tx, uni, dk := last[1], last[2], last[3], last[4]
+	if !(deb > tx && tx > uni && uni >= dk) {
+		t.Fatalf("utilization ordering violated: %v", last)
+	}
+	deb0 := tab.Rows[0][1]
+	if deb <= deb0 {
+		t.Fatal("debian utilization flat")
+	}
+}
+
+func TestFig16aThroughputAndRTT(t *testing.T) {
+	tab := runTable(t, "fig16a")
+	tput := col(t, tab, "throughput_gbps")
+	rtt := col(t, tab, "rtt_ms")
+	if !metrics.Monotone(tput) {
+		t.Fatal("throughput must not decrease")
+	}
+	if !metrics.Monotone(rtt) {
+		t.Fatal("RTT must grow with active VMs")
+	}
+}
+
+func TestFig16bRateOrdering(t *testing.T) {
+	tab := runTable(t, "fig16b")
+	// Median RTT at 25ms arrivals should be small (~low tens of ms).
+	r25 := col(t, tab, "rtt_25ms")
+	median := r25[len(r25)/2]
+	if median < 2 || median > 40 {
+		t.Fatalf("median RTT @25ms = %.1f ms", median)
+	}
+	for _, c := range []string{"rtt_10ms", "rtt_25ms", "rtt_50ms", "rtt_100ms"} {
+		vals := col(t, tab, c)
+		if !metrics.Monotone(vals) {
+			t.Fatalf("CDF column %s not monotone", c)
+		}
+	}
+}
+
+func TestFig16cPlateauAndLwipPenalty(t *testing.T) {
+	tab := runTable(t, "fig16c")
+	bare := col(t, tab, "bare_metal_krps")
+	tinyx := col(t, tab, "tinyx_krps")
+	uni := col(t, tab, "unikernel_krps")
+	last := len(bare) - 1
+	if bare[last] < 1.2 || bare[last] > 1.6 {
+		t.Fatalf("bare-metal plateau = %.2f Kreq/s, want ≈1.4", bare[last])
+	}
+	if tinyx[last] > bare[last] || tinyx[last] < 0.9*bare[last] {
+		t.Fatalf("tinyx (%v) should be just under bare metal (%v)", tinyx[last], bare[last])
+	}
+	ratio := bare[last] / uni[last]
+	if ratio < 4 || ratio > 6.5 {
+		t.Fatalf("unikernel penalty = %.1f×, want ≈5×", ratio)
+	}
+}
+
+func TestFig17LightVMFaster(t *testing.T) {
+	tab := runTable(t, "fig17")
+	xs := col(t, tab, "chaos_xs_s")
+	lv := col(t, tab, "lightvm_s")
+	last := len(xs) - 1
+	if xs[last] <= lv[last] {
+		t.Fatalf("chaos[XS] (%v s) not slower than LightVM (%v s)", xs[last], lv[last])
+	}
+}
+
+func TestFig18BacklogOrdering(t *testing.T) {
+	tab := runTable(t, "fig18")
+	xs := col(t, tab, "chaos_xs_vms")
+	lv := col(t, tab, "lightvm_vms")
+	last := len(xs) - 1
+	if xs[last] < lv[last] {
+		t.Fatalf("chaos[XS] backlog (%v) below LightVM (%v)", xs[last], lv[last])
+	}
+}
+
+func TestGuestTableRendered(t *testing.T) {
+	tab := runTable(t, "tbl-guests")
+	if len(tab.Rows) < 10 {
+		t.Fatalf("guest table rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "runtime_mb") {
+		t.Fatal("render missing column")
+	}
+}
+
+func TestSamplePoints(t *testing.T) {
+	o := Options{Samples: 5}.normalize()
+	pts := o.samplePoints(100)
+	if pts[len(pts)-1] != 100 {
+		t.Fatalf("last point %d", pts[len(pts)-1])
+	}
+	if len(pts) < 5 || len(pts) > 6 {
+		t.Fatalf("points = %v", pts)
+	}
+	small := o.samplePoints(3)
+	if len(small) != 3 || small[0] != 1 {
+		t.Fatalf("small points = %v", small)
+	}
+}
+
+func TestExtDedupSaves(t *testing.T) {
+	tab := runTable(t, "ext-dedup")
+	base := col(t, tab, "baseline_mb")
+	dd := col(t, tab, "dedup_mb")
+	sav := col(t, tab, "saving_pct")
+	last := len(base) - 1
+	if dd[last] >= base[last] {
+		t.Fatalf("dedup (%v MB) not below baseline (%v MB)", dd[last], base[last])
+	}
+	if sav[last] < 20 || sav[last] > 80 {
+		t.Fatalf("saving = %.1f%%, want a substantial fraction", sav[last])
+	}
+	// Both curves still grow with N (dedup shares, it doesn't erase).
+	if !metrics.Monotone(dd) {
+		t.Fatal("dedup curve not monotone")
+	}
+}
+
+func TestExtCxenstoredSlower(t *testing.T) {
+	tab := runTable(t, "ext-cxenstored")
+	slow := col(t, tab, "slowdown")
+	for i, v := range slow {
+		if v <= 1 {
+			t.Fatalf("cxenstored not slower at row %d: %v", i, v)
+		}
+	}
+	// The gap widens with population (the C daemon's connection scan
+	// has worse constants).
+	if slow[len(slow)-1] <= slow[0] {
+		t.Fatalf("slowdown did not widen: %v → %v", slow[0], slow[len(slow)-1])
+	}
+}
+
+func TestExtICCOrdering(t *testing.T) {
+	tab := runTable(t, "ext-icc")
+	boot := col(t, tab, "boot_ms")
+	img := col(t, tab, "image_mb")
+	// rows: 0=icc, 1=tinyx, 2=unikernel
+	if !(boot[0] > boot[1] && boot[1] > boot[2]) {
+		t.Fatalf("boot ordering: %v", boot)
+	}
+	if !(img[0] > img[1] && img[1] > img[2]) {
+		t.Fatalf("image ordering: %v", img)
+	}
+	// Paper magnitudes: ICC ≈500ms, Tinyx ≈300ms.
+	if boot[0] < 350 || boot[0] > 800 {
+		t.Fatalf("icc boot = %.0f ms, want ≈500", boot[0])
+	}
+}
+
+func TestExtUkvmShape(t *testing.T) {
+	tab := runTable(t, "ext-ukvm")
+	uk := col(t, tab, "ukvm_ms")
+	lv := col(t, tab, "lightvm_ms")
+	last := len(uk) - 1
+	// Both flat-ish (no store growth).
+	if uk[last] > 1.5*uk[0] || lv[last] > 1.5*lv[0] {
+		t.Fatalf("store-free toolstacks not flat: ukvm %v→%v lightvm %v→%v", uk[0], uk[last], lv[0], lv[last])
+	}
+	// ukvm ≈10ms per the paper's citation; LightVM below it.
+	if uk[0] < 5 || uk[0] > 15 {
+		t.Fatalf("ukvm boot = %.1f ms, want ≈10", uk[0])
+	}
+	for i := range uk {
+		if lv[i] >= uk[i] {
+			t.Fatalf("LightVM (%v) not below ukvm (%v) at row %d", lv[i], uk[i], i)
+		}
+	}
+}
+
+func TestExtThroughputShape(t *testing.T) {
+	tab := runTable(t, "ext-throughput")
+	tput := col(t, tab, "vms_per_sec")
+	lat := col(t, tab, "latency_ms")
+	// rows: xl, chaos[XS], chaos[XS+split], chaos[NoXS], LightVM
+	if len(tput) != 5 {
+		t.Fatalf("rows = %d", len(tput))
+	}
+	// xl is the slowest by both metrics; noxs modes beat store modes.
+	if tput[0] >= tput[3] || tput[0] >= tput[4] {
+		t.Fatalf("xl throughput not lowest: %v", tput)
+	}
+	if lat[4] >= lat[0] {
+		t.Fatalf("LightVM latency not below xl: %v", lat)
+	}
+	// The split modes' throughput advantage over their non-split
+	// siblings is smaller than their latency advantage.
+	latGain := lat[1] / lat[2] // chaos[XS] vs +split
+	tputGain := tput[2] / tput[1]
+	if tputGain >= latGain {
+		t.Fatalf("split throughput gain (%.2f) should trail latency gain (%.2f)", tputGain, latGain)
+	}
+}
+
+func TestExtCloneWins(t *testing.T) {
+	tab := runTable(t, "ext-clone")
+	boot := col(t, tab, "boot_ms")
+	clone := col(t, tab, "clone_ms")
+	bootMB := col(t, tab, "boot_mb")
+	cloneMB := col(t, tab, "clone_mb")
+	for i := range boot {
+		if clone[i] >= boot[i] {
+			t.Fatalf("row %d: clone (%v) not faster than boot (%v)", i, clone[i], boot[i])
+		}
+		if cloneMB[i] >= bootMB[i] {
+			t.Fatalf("row %d: clone memory (%v) not below boot (%v)", i, cloneMB[i], bootMB[i])
+		}
+	}
+	// The win grows with guest weight: Debian's boot/clone ratio must
+	// dwarf the unikernel's.
+	ratioUni := boot[0] / clone[0]
+	ratioDeb := boot[3] / clone[3]
+	if ratioDeb <= ratioUni {
+		t.Fatalf("clone win did not grow with weight: uni %.1f× deb %.1f×", ratioUni, ratioDeb)
+	}
+}

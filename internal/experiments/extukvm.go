@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lightvm/internal/core"
+	"lightvm/internal/guest"
+	"lightvm/internal/metrics"
+	"lightvm/internal/sched"
+	"lightvm/internal/toolstack"
+)
+
+func init() {
+	register("ext-ukvm", extUkvm)
+}
+
+// extUkvm — §9 "Generality": a ukvm/Solo5-style unikernel monitor on
+// KVM ("10 ms boot times") against LightVM across a 1000-guest sweep.
+// Both avoid the XenStore; the difference is that ukvm pays a monitor
+// fork/exec plus setup per boot while the split toolstack amortizes
+// prepare work off the creation path.
+func extUkvm(o Options) (Result, error) {
+	n := o.scaled(1000, 20)
+	points := o.samplePoints(n)
+	wanted := map[int]bool{}
+	for _, p := range points {
+		wanted[p] = true
+	}
+	img := guest.Daytime()
+
+	sweep := func(useUkvm bool) (map[int]float64, error) {
+		h, err := core.NewHost(sched.Xeon4, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var drv toolstack.Driver
+		if useUkvm {
+			drv = toolstack.NewUkvm(h.Env)
+		} else {
+			if err := h.EnsureFlavor(img, toolstack.ModeLightVM); err != nil {
+				return nil, err
+			}
+			drv = h.Driver(toolstack.ModeLightVM)
+		}
+		out := map[int]float64{}
+		for i := 1; i <= n; i++ {
+			if !useUkvm {
+				if err := h.Replenish(); err != nil {
+					return nil, err
+				}
+			}
+			vm, err := drv.Create(fmt.Sprintf("g%d", i), img)
+			if err != nil {
+				return nil, err
+			}
+			if wanted[i] {
+				out[i] = float64(vm.CreateTime+vm.BootTime) / float64(time.Millisecond)
+			}
+		}
+		return out, nil
+	}
+	ukvm, err := sweep(true)
+	if err != nil {
+		return Result{}, err
+	}
+	lightvm, err := sweep(false)
+	if err != nil {
+		return Result{}, err
+	}
+	t := metrics.NewTable("Extension: ukvm-style monitor vs LightVM (daytime unikernel)",
+		"n", "ukvm_ms", "lightvm_ms")
+	for _, p := range points {
+		t.AddRow(float64(p), ukvm[p], lightvm[p])
+	}
+	t.Note("§9: 'ukvm implements a specialized unikernel monitor on top of KVM ... to achieve 10 ms boot times'")
+	t.Note("both scale flat (no store); ukvm pays a per-boot monitor fork/exec that the split toolstack amortizes away")
+	return Result{ID: "ext-ukvm", Paper: "§9: ukvm ≈10ms boots; LightVM still faster via the prepare phase", Table: t}, nil
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lightvm/internal/core"
+	"lightvm/internal/guest"
+	"lightvm/internal/metrics"
+	"lightvm/internal/sched"
+	"lightvm/internal/syscalls"
+	"lightvm/internal/toolstack"
+)
+
+func init() {
+	register("fig01", fig01)
+	register("fig02", fig02)
+	register("fig04", fig04)
+	register("fig05", fig05)
+	register("tbl-guests", tblGuests)
+}
+
+// fig01 — "The unrelenting growth of the Linux syscall API over the
+// years (x86_32)".
+func fig01(Options) (Result, error) {
+	t := metrics.NewTable("Figure 1: Linux syscall API growth (x86_32)", "year", "syscalls")
+	for _, r := range syscalls.Sorted() {
+		t.AddRow(float64(r.Year), float64(r.Syscalls))
+	}
+	t.Note("growth ≈ %.1f syscalls/year; x86 VM ABI surface ≈ %d interaction points",
+		syscalls.GrowthPerYear(), syscalls.X86ABISurface)
+	return Result{ID: "fig01", Paper: "~200 syscalls in 2002 growing to ~400 by 2018", Table: t}, nil
+}
+
+// fig02 — "Boot times grow linearly with VM image size": the same
+// daytime unikernel padded with binary objects from ~0 to 1000 MB,
+// booted from a ramdisk with stock xl.
+func fig02(o Options) (Result, error) {
+	t := metrics.NewTable("Figure 2: boot time vs VM image size (xl, padded daytime unikernel)",
+		"image_mb", "boot_ms")
+	maxMB := o.scaled(1000, 50)
+	step := maxMB / 10
+	if step == 0 {
+		step = 1
+	}
+	for mb := 0; mb <= maxMB; mb += step {
+		h, err := core.NewHost(sched.Xeon4, o.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		img := guest.Daytime().WithPadding(uint64(mb) << 20)
+		vm, err := h.CreateVM(toolstack.ModeXL, "padded", img)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(float64(img.TotalSize())/(1<<20),
+			float64(vm.CreateTime+vm.BootTime)/float64(time.Millisecond))
+	}
+	t.Note("paper slope ≈ 1 ms/MB up to ~1 s at 1000 MB")
+	return Result{ID: "fig02", Paper: "boot time grows linearly with image size, ~1s at 1GB", Table: t}, nil
+}
+
+// fig04 — domain creation and boot times for Debian, Tinyx, the
+// daytime unikernel (xl on the 4-core Xeon), Docker containers and
+// processes, for 1..1000 running instances.
+func fig04(o Options) (Result, error) {
+	n := o.scaled(1000, 20)
+	points := o.samplePoints(n)
+	t := metrics.NewTable("Figure 4: create/boot times vs number of running guests (xl)",
+		"n", "debian_create_ms", "debian_boot_ms", "tinyx_create_ms", "tinyx_boot_ms",
+		"unikernel_create_ms", "unikernel_boot_ms", "docker_run_ms", "process_ms")
+
+	type vmSeries struct {
+		img    guest.Image
+		create map[int]float64
+		boot   map[int]float64
+	}
+	series := []*vmSeries{
+		{img: guest.DebianMinimal(), create: map[int]float64{}, boot: map[int]float64{}},
+		{img: guest.TinyxNoop(), create: map[int]float64{}, boot: map[int]float64{}},
+		{img: guest.Daytime(), create: map[int]float64{}, boot: map[int]float64{}},
+	}
+	wanted := map[int]bool{}
+	for _, p := range points {
+		wanted[p] = true
+	}
+	for _, s := range series {
+		h, err := core.NewHost(sched.Machine{Name: "xeon-big", Cores: 4, Dom0Cores: 1, MemoryGB: 192}, o.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		drv := h.Driver(toolstack.ModeXL)
+		for i := 1; i <= n; i++ {
+			vm, err := drv.Create(fmt.Sprintf("%s-%d", s.img.Name, i), s.img)
+			if err != nil {
+				return Result{}, fmt.Errorf("fig04 %s #%d: %w", s.img.Name, i, err)
+			}
+			if wanted[i] {
+				s.create[i] = float64(vm.CreateTime) / float64(time.Millisecond)
+				s.boot[i] = float64(vm.BootTime) / float64(time.Millisecond)
+			}
+		}
+	}
+	// Docker and process baselines.
+	dockerMS := map[int]float64{}
+	procMS := map[int]float64{}
+	h, err := core.NewHost(sched.Machine{Name: "xeon-big", Cores: 4, Dom0Cores: 1, MemoryGB: 192}, o.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 1; i <= n; i++ {
+		c, err := h.Docker.Run("noop")
+		if err != nil {
+			return Result{}, err
+		}
+		if wanted[i] {
+			dockerMS[i] = float64(c.StartTime) / float64(time.Millisecond)
+		}
+		lat, err := h.Procs.Spawn(1 << 20)
+		if err != nil {
+			return Result{}, err
+		}
+		if wanted[i] {
+			procMS[i] = float64(lat) / float64(time.Millisecond)
+		}
+	}
+	for _, p := range points {
+		t.AddRow(float64(p),
+			series[0].create[p], series[0].boot[p],
+			series[1].create[p], series[1].boot[p],
+			series[2].create[p], series[2].boot[p],
+			dockerMS[p], procMS[p])
+	}
+	t.Note("paper @N=0: debian 500ms+1.5s, tinyx 360ms+180ms, unikernel 80ms+3ms, docker ~200ms, process 3.5ms")
+	t.Note("paper @N=1000 create: debian 42s, tinyx 10s, unikernel 700ms (our model reproduces ordering and growth, compressed magnitudes for the Linux guests; see EXPERIMENTS.md)")
+	return Result{ID: "fig04", Paper: "creation grows with N; VM size ordering debian≫tinyx≫unikernel", Table: t}, nil
+}
+
+// fig05 — breakdown of xl creation overhead by category vs number of
+// running guests (daytime unikernel).
+func fig05(o Options) (Result, error) {
+	n := o.scaled(1000, 20)
+	points := o.samplePoints(n)
+	wanted := map[int]bool{}
+	for _, p := range points {
+		wanted[p] = true
+	}
+	t := metrics.NewTable("Figure 5: xl creation-time breakdown vs running guests",
+		"n", "toolstack_ms", "load_ms", "devices_ms", "xenstore_ms", "hypervisor_ms", "config_ms")
+	h, err := core.NewHost(sched.Xeon4, o.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	drv := h.Driver(toolstack.ModeXL)
+	img := guest.Daytime()
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for i := 1; i <= n; i++ {
+		vm, err := drv.Create(fmt.Sprintf("g%d", i), img)
+		if err != nil {
+			return Result{}, err
+		}
+		if wanted[i] {
+			b := vm.LastBreakdown
+			t.AddRow(float64(i), ms(b.Toolstack), ms(b.Load), ms(b.Devices),
+				ms(b.XenStore), ms(b.Hypervisor), ms(b.Config))
+		}
+	}
+	t.Note("paper: xenstore grows superlinearly, devices stay ~constant and dominate at low N; log-rotation spikes")
+	return Result{ID: "fig05", Paper: "XenStore interactions and device creation dominate; store cost grows with N", Table: t}, nil
+}
+
+// tblGuests — the §3/§6 guest inventory (image size, runtime memory).
+func tblGuests(Options) (Result, error) {
+	t := metrics.NewTable("Guest inventory (paper §3, §6)",
+		"idx", "image_mb", "runtime_mb", "boot_work_ms", "devices")
+	names := ""
+	for i, r := range core.GuestTable() {
+		t.AddRow(float64(i), r.ImageMB, r.RuntimeMB,
+			float64(r.BootWork)/float64(time.Millisecond), float64(r.DeviceCount))
+		if i > 0 {
+			names += ", "
+		}
+		names += fmt.Sprintf("%d=%s", i, r.Name)
+	}
+	t.Note("rows: %s", names)
+	t.Note("paper: daytime 480KB/3.6MB, minipython ~1MB/8MB, tinyx ~10MB/30MB, debian 1.1GB/111MB")
+	return Result{ID: "tbl-guests", Paper: "guest image sizes and runtime footprints", Table: t}, nil
+}

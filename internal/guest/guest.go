@@ -1,0 +1,263 @@
+// Package guest describes the virtual machine images the paper builds
+// and measures (§3, §6): Mini-OS unikernels (noop, daytime,
+// Minipython, ClickOS firewall, TLS proxy), Tinyx Linux VMs, and a
+// minimal Debian — with their on-disk sizes, runtime memory needs,
+// guest-side boot work and idle behaviour.
+package guest
+
+import (
+	"fmt"
+	"time"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/hv"
+)
+
+// Kind classifies a guest image.
+type Kind int
+
+// Guest kinds.
+const (
+	Unikernel Kind = iota
+	Tinyx
+	Debian
+)
+
+var kindNames = [...]string{"unikernel", "tinyx", "debian"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// DeviceSpec is a device the guest needs.
+type DeviceSpec struct {
+	Kind hv.DevKind
+	MAC  string
+}
+
+// Image is a bootable guest image.
+type Image struct {
+	Name string
+	Kind Kind
+	App  string // application identifier (see internal/apps)
+
+	// SizeBytes is the on-disk image size; PadBytes is extra binary
+	// content injected for the Fig. 2 experiment ("we increase the
+	// size by injecting binary objects into the uncompressed image").
+	SizeBytes uint64
+	PadBytes  uint64
+
+	// MemBytes is the RAM the guest needs to run.
+	MemBytes uint64
+
+	// BootWork is guest-side CPU work from unpause to ready.
+	BootWork time.Duration
+
+	// Devices the guest expects (vif etc.). The noop unikernel has
+	// none — its 2.3 ms floor depends on that.
+	Devices []DeviceSpec
+
+	// Idle behaviour: background wakeups dilate other guests' boots
+	// (Fig. 11); UtilDuty is the reported idle utilization fraction of
+	// one core (Fig. 15).
+	WakeRatePerSec float64
+	WakeWork       time.Duration
+	UtilDuty       float64
+
+	// StoreOpsBoot approximates extra XenStore traffic the guest's own
+	// frontends generate while booting (beyond the xenbus handshake
+	// itself); Linux guests chatter far more than Mini-OS.
+	StoreOpsBoot int
+}
+
+// TotalSize includes Fig. 2 padding.
+func (im Image) TotalSize() uint64 { return im.SizeBytes + im.PadBytes }
+
+// WithPadding returns a copy padded to reach total on-disk size n.
+func (im Image) WithPadding(total uint64) Image {
+	if total > im.SizeBytes {
+		im.PadBytes = total - im.SizeBytes
+	}
+	return im
+}
+
+const (
+	kb = 1024
+	mb = 1024 * 1024
+)
+
+// mbBytes converts a (possibly fractional) MiB figure to bytes.
+func mbBytes(mib float64) uint64 { return uint64(mib * mb) }
+
+func vif(n int) DeviceSpec {
+	return DeviceSpec{Kind: hv.DevVif, MAC: fmt.Sprintf("00:16:3e:00:%02x:%02x", n/256, n%256)}
+}
+
+// Noop is the minimal Mini-OS unikernel with no devices — the 2.3 ms
+// lower bound in §6.1.
+func Noop() Image {
+	return Image{
+		Name: "noop", Kind: Unikernel, App: "noop",
+		SizeBytes: costs.ImgNoopKB * kb,
+		MemBytes:  mbBytes(costs.MemNoopMB),
+		BootWork:  costs.BootUnikernelNoop,
+		UtilDuty:  costs.UnikernelUtilDuty,
+	}
+}
+
+// Daytime is the TCP time-of-day unikernel (§3.1): 480 KB on disk,
+// 3.6 MB of RAM, lwip linked in.
+func Daytime() Image {
+	return Image{
+		Name: "daytime", Kind: Unikernel, App: "daytime",
+		SizeBytes: costs.ImgDaytimeKB * kb,
+		MemBytes:  mbBytes(costs.MemDaytimeMB),
+		BootWork:  costs.BootUnikernelDaytime,
+		Devices:   []DeviceSpec{vif(1)},
+		UtilDuty:  costs.UnikernelUtilDuty,
+	}
+}
+
+// Minipython is the MicroPython unikernel for Lambda-like services
+// (§3.1, §7.4): ~1 MB image, 8 MB RAM.
+func Minipython() Image {
+	return Image{
+		Name: "minipython", Kind: Unikernel, App: "minipython",
+		SizeBytes: costs.ImgMinipythonKB * kb,
+		MemBytes:  mbBytes(costs.MemMinipythonMB),
+		BootWork:  costs.BootUnikernelDaytime, // lwip + interpreter init
+		Devices:   []DeviceSpec{vif(2)},
+		UtilDuty:  costs.UnikernelUtilDuty,
+	}
+}
+
+// ClickOSFirewall is the personal-firewall VM of §7.1: 1.7 MB image,
+// 8 MB RAM, ~10 ms to boot.
+func ClickOSFirewall() Image {
+	return Image{
+		Name: "clickos-fw", Kind: Unikernel, App: "firewall",
+		SizeBytes: costs.ImgClickOSKB * kb,
+		MemBytes:  mbBytes(costs.MemClickOSMB),
+		BootWork:  costs.BootClickOS,
+		Devices:   []DeviceSpec{vif(3)},
+		UtilDuty:  costs.UnikernelUtilDuty,
+	}
+}
+
+// TLSUnikernel is the axtls termination proxy of §7.3: boots in 6 ms,
+// 16 MB RAM.
+func TLSUnikernel() Image {
+	return Image{
+		Name: "tls-unikernel", Kind: Unikernel, App: "tlsproxy",
+		SizeBytes: costs.ImgTLSUniKB * kb,
+		MemBytes:  mbBytes(costs.MemTLSUniMB),
+		BootWork:  6 * time.Millisecond,
+		Devices:   []DeviceSpec{vif(4)},
+		UtilDuty:  costs.UnikernelUtilDuty,
+	}
+}
+
+// TinyxNoop is a Tinyx image with no application installed (§6):
+// 9.5 MB image, ~30 MB RAM, ~180 ms boot, with the initramfs bundled
+// into the kernel image.
+func TinyxNoop() Image {
+	return Image{
+		Name: "tinyx", Kind: Tinyx, App: "noop",
+		SizeBytes:      mbBytes(costs.ImgTinyxMB),
+		MemBytes:       mbBytes(costs.MemTinyxMB),
+		BootWork:       costs.BootTinyx,
+		Devices:        []DeviceSpec{vif(5), {Kind: hv.DevConsole}},
+		WakeRatePerSec: costs.TinyxWakeRatePerSec,
+		WakeWork:       costs.TinyxWakeWork,
+		UtilDuty:       costs.TinyxUtilDuty,
+		StoreOpsBoot:   20,
+	}
+}
+
+// TinyxMicropython adds the Micropython package (§6.3).
+func TinyxMicropython() Image {
+	im := TinyxNoop()
+	im.Name = "tinyx-micropython"
+	im.App = "minipython"
+	im.SizeBytes = mbBytes(costs.ImgTinyxMicroMB)
+	return im
+}
+
+// TinyxTLS is the Tinyx TLS terminator of §7.3: 40 MB RAM, ~190 ms
+// boot.
+func TinyxTLS() Image {
+	im := TinyxNoop()
+	im.Name = "tinyx-tls"
+	im.App = "tlsproxy"
+	im.SizeBytes = mbBytes(costs.ImgTinyxTLSMB)
+	im.MemBytes = mbBytes(costs.MemTinyxTLSMB)
+	im.BootWork = 190 * time.Millisecond
+	return im
+}
+
+// DebianMinimal is the "typical VM used in practice" (§4.2): 1.1 GB
+// image, 1.5 s boot, and — per §6.3 — 111 MB minimum RAM with several
+// services running out of the box.
+func DebianMinimal() Image {
+	return Image{
+		Name: "debian", Kind: Debian, App: "noop",
+		SizeBytes:      mbBytes(costs.ImgDebianMB),
+		MemBytes:       mbBytes(costs.MemDebianMB),
+		BootWork:       costs.BootDebian,
+		Devices:        []DeviceSpec{vif(6), {Kind: hv.DevVbd}, {Kind: hv.DevConsole}},
+		WakeRatePerSec: costs.DebianWakeRatePerSec,
+		WakeWork:       costs.DebianWakeWork,
+		UtilDuty:       costs.DebianUtilDuty,
+		StoreOpsBoot:   60,
+	}
+}
+
+// ClearContainer models Intel Clear Containers, the related-work
+// comparison of §8: a container wrapped in a slim VM "with the
+// explicit aim of keeping compatibility with existing frameworks
+// (Docker, rkt); this compatibility results in overheads. ... an ICC
+// guest is 70MB and boots in 500ms as opposed to a Tinyx one which is
+// about 10MB and boots in about 300ms."
+func ClearContainer() Image {
+	return Image{
+		Name: "clear-container", Kind: Tinyx, App: "noop",
+		SizeBytes:      70 * mb,
+		MemBytes:       128 * mb,
+		BootWork:       430 * time.Millisecond, // + creation ≈ 500ms
+		Devices:        []DeviceSpec{vif(7), {Kind: hv.DevConsole}},
+		WakeRatePerSec: costs.TinyxWakeRatePerSec,
+		WakeWork:       costs.TinyxWakeWork,
+		UtilDuty:       costs.TinyxUtilDuty,
+		StoreOpsBoot:   25,
+	}
+}
+
+// DebianMicropython is the Debian guest with Micropython (Fig. 14).
+func DebianMicropython() Image {
+	im := DebianMinimal()
+	im.Name = "debian-micropython"
+	im.App = "minipython"
+	return im
+}
+
+// Catalog returns every predefined image, for CLIs and docs.
+func Catalog() []Image {
+	return []Image{
+		Noop(), Daytime(), Minipython(), ClickOSFirewall(), TLSUnikernel(),
+		TinyxNoop(), TinyxMicropython(), TinyxTLS(), ClearContainer(),
+		DebianMinimal(), DebianMicropython(),
+	}
+}
+
+// ByName finds a catalog image.
+func ByName(name string) (Image, error) {
+	for _, im := range Catalog() {
+		if im.Name == name {
+			return im, nil
+		}
+	}
+	return Image{}, fmt.Errorf("guest: unknown image %q", name)
+}

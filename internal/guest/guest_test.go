@@ -1,0 +1,111 @@
+package guest
+
+import (
+	"testing"
+
+	"lightvm/internal/hv"
+)
+
+func TestPaperQuotedFootprints(t *testing.T) {
+	// The paper quotes these numbers verbatim; the catalog must match.
+	d := Daytime()
+	if d.SizeBytes != 480*1024 {
+		t.Fatalf("daytime image = %d bytes, want 480KB", d.SizeBytes)
+	}
+	mib := float64(1024 * 1024)
+	if d.MemBytes != uint64(3.6*mib) {
+		t.Fatalf("daytime RAM = %d bytes, want 3.6MB", d.MemBytes)
+	}
+	mp := Minipython()
+	if mp.MemBytes != 8*1024*1024 {
+		t.Fatalf("minipython RAM = %d, want 8MB", mp.MemBytes)
+	}
+	fw := ClickOSFirewall()
+	if fw.SizeBytes != 1740*1024 {
+		t.Fatalf("clickos image = %d, want 1.7MB", fw.SizeBytes)
+	}
+	deb := DebianMinimal()
+	if deb.MemBytes != 111*1024*1024 {
+		t.Fatalf("debian RAM = %d, want 111MB", deb.MemBytes)
+	}
+	if deb.SizeBytes < 1100*1024*1024 {
+		t.Fatalf("debian image = %d, want ≈1.1GB", deb.SizeBytes)
+	}
+}
+
+func TestOrderingInvariants(t *testing.T) {
+	// Unikernel < Tinyx < Debian in every footprint dimension.
+	u, tx, deb := Daytime(), TinyxNoop(), DebianMinimal()
+	if !(u.SizeBytes < tx.SizeBytes && tx.SizeBytes < deb.SizeBytes) {
+		t.Fatal("image size ordering violated")
+	}
+	if !(u.MemBytes < tx.MemBytes && tx.MemBytes < deb.MemBytes) {
+		t.Fatal("memory ordering violated")
+	}
+	if !(u.BootWork < tx.BootWork && tx.BootWork < deb.BootWork) {
+		t.Fatal("boot work ordering violated")
+	}
+}
+
+func TestNoopHasNoDevices(t *testing.T) {
+	if len(Noop().Devices) != 0 {
+		t.Fatal("noop unikernel must have no devices (2.3ms floor)")
+	}
+	if len(Daytime().Devices) != 1 || Daytime().Devices[0].Kind != hv.DevVif {
+		t.Fatal("daytime must have exactly one vif")
+	}
+}
+
+func TestIdleBehaviour(t *testing.T) {
+	if Daytime().WakeRatePerSec != 0 {
+		t.Fatal("idle unikernels must not wake (flat Fig. 11 curve)")
+	}
+	if TinyxNoop().WakeRatePerSec <= 0 || DebianMinimal().WakeRatePerSec <= TinyxNoop().WakeRatePerSec {
+		t.Fatal("idle wake ordering: debian > tinyx > unikernel")
+	}
+	if DebianMinimal().UtilDuty <= TinyxNoop().UtilDuty {
+		t.Fatal("util duty ordering violated")
+	}
+}
+
+func TestWithPadding(t *testing.T) {
+	im := Daytime().WithPadding(100 * 1024 * 1024)
+	if im.TotalSize() != 100*1024*1024 {
+		t.Fatalf("padded size = %d", im.TotalSize())
+	}
+	// Padding below current size is a no-op.
+	im2 := Daytime().WithPadding(1)
+	if im2.TotalSize() != Daytime().SizeBytes {
+		t.Fatal("under-padding changed size")
+	}
+}
+
+func TestCatalogAndByName(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 10 {
+		t.Fatalf("catalog has %d images", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, im := range cat {
+		if seen[im.Name] {
+			t.Fatalf("duplicate catalog name %q", im.Name)
+		}
+		seen[im.Name] = true
+		got, err := ByName(im.Name)
+		if err != nil || got.Name != im.Name {
+			t.Fatalf("ByName(%q): %v", im.Name, err)
+		}
+		if im.MemBytes == 0 || im.SizeBytes == 0 {
+			t.Fatalf("image %q has zero footprint", im.Name)
+		}
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Fatal("ByName accepted unknown image")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Unikernel.String() != "unikernel" || Debian.String() != "debian" || Kind(99).String() == "" {
+		t.Fatal("Kind.String broken")
+	}
+}

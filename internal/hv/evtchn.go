@@ -1,0 +1,143 @@
+package hv
+
+import (
+	"fmt"
+
+	"lightvm/internal/costs"
+)
+
+// Port identifies an event channel endpoint.
+type Port uint32
+
+// Handler is invoked when an event is delivered on a port. Delivery
+// happens synchronously at Send time (the upcall cost is charged
+// first), mirroring how a software interrupt preempts the vCPU.
+type Handler func()
+
+// channel is an inter-domain event channel.
+type channel struct {
+	owner   DomID // allocating side
+	peer    DomID
+	handler Handler // receiver's upcall
+	bound   bool
+	pending uint64
+}
+
+// AllocUnboundPort allocates an event channel for owner that peer may
+// later bind (the classic backend flow: backend allocates, writes the
+// port to the store or device page, frontend binds).
+func (h *Hypervisor) AllocUnboundPort(owner, peer DomID) (Port, error) {
+	if _, err := h.Domain(owner); err != nil {
+		return 0, err
+	}
+	h.nextPort++
+	p := h.nextPort
+	h.ports[p] = &channel{owner: owner, peer: peer}
+	h.charge(costs.EventChannelAlloc)
+	return p, nil
+}
+
+// BindPort attaches the peer's upcall handler to the channel.
+func (h *Hypervisor) BindPort(p Port, peer DomID, fn Handler) error {
+	ch, ok := h.ports[p]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchPort, p)
+	}
+	if ch.peer != peer {
+		return fmt.Errorf("hv: port %d reserved for domain %d, bind from %d", p, ch.peer, peer)
+	}
+	ch.handler = fn
+	ch.bound = true
+	h.charge(0)
+	return nil
+}
+
+// Send notifies the remote end of the channel. The upcall (software
+// interrupt) is charged and the handler runs inline.
+func (h *Hypervisor) Send(p Port) error {
+	ch, ok := h.ports[p]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchPort, p)
+	}
+	h.Count.EvtchnSends++
+	h.charge(costs.SoftIRQ)
+	ch.pending++
+	if ch.bound && ch.handler != nil {
+		ch.handler()
+	}
+	return nil
+}
+
+// ClosePort tears down an event channel.
+func (h *Hypervisor) ClosePort(p Port) error {
+	if _, ok := h.ports[p]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchPort, p)
+	}
+	delete(h.ports, p)
+	h.charge(0)
+	return nil
+}
+
+// PortPending reports the number of undelivered-or-delivered sends on
+// a port (diagnostic).
+func (h *Hypervisor) PortPending(p Port) uint64 {
+	if ch, ok := h.ports[p]; ok {
+		return ch.pending
+	}
+	return 0
+}
+
+// NumPorts reports live event channels (diagnostic).
+func (h *Hypervisor) NumPorts() int { return len(h.ports) }
+
+// GrantRef names an entry in a domain's grant table.
+type GrantRef uint32
+
+// grant is a page shared by owner with a specific peer.
+type grant struct {
+	owner    DomID
+	peer     DomID
+	frame    uint64
+	readonly bool
+	mapped   bool
+}
+
+// GrantAccess shares frame of owner's memory with peer.
+func (h *Hypervisor) GrantAccess(owner, peer DomID, frame uint64, readonly bool) (GrantRef, error) {
+	if _, err := h.Domain(owner); err != nil {
+		return 0, err
+	}
+	h.nextGrant++
+	r := h.nextGrant
+	h.grants[r] = &grant{owner: owner, peer: peer, frame: frame, readonly: readonly}
+	h.charge(costs.GrantRefSetup)
+	return r, nil
+}
+
+// MapGrant maps a granted page into peer's address space.
+func (h *Hypervisor) MapGrant(r GrantRef, peer DomID) (uint64, error) {
+	g, ok := h.grants[r]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchGrant, r)
+	}
+	if g.peer != peer {
+		return 0, fmt.Errorf("hv: grant %d not for domain %d", r, peer)
+	}
+	g.mapped = true
+	h.Count.GrantMaps++
+	h.charge(costs.GrantRefSetup)
+	return g.frame, nil
+}
+
+// EndGrant revokes a grant.
+func (h *Hypervisor) EndGrant(r GrantRef) error {
+	if _, ok := h.grants[r]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchGrant, r)
+	}
+	delete(h.grants, r)
+	h.charge(0)
+	return nil
+}
+
+// NumGrants reports live grant entries (diagnostic).
+func (h *Hypervisor) NumGrants() int { return len(h.grants) }

@@ -1,0 +1,401 @@
+package hv
+
+import (
+	"errors"
+	"testing"
+
+	"lightvm/internal/sim"
+)
+
+const mib = 1024 * 1024
+
+func newHV() *Hypervisor {
+	return New(sim.NewClock(), 8*1024*mib)
+}
+
+func TestNewReservesDom0(t *testing.T) {
+	h := newHV()
+	if h.NumDomains() != 0 {
+		t.Fatalf("fresh hypervisor has %d guests", h.NumDomains())
+	}
+	d0, err := h.Domain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.State != StateRunning {
+		t.Fatalf("Dom0 state %v", d0.State)
+	}
+	if h.UsedMemBytes() == 0 {
+		t.Fatal("Dom0 memory not reserved")
+	}
+}
+
+func TestDomainLifecycle(t *testing.T) {
+	h := newHV()
+	d, err := h.CreateDomain(Config{MaxMem: 8 * mib, VCPUs: 1, Cores: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.State != StateCreated {
+		t.Fatalf("state after create: %v", d.State)
+	}
+	if err := h.PopulatePhysmap(d.ID, 8*mib); err != nil {
+		t.Fatal(err)
+	}
+	if d.MemBytes != 8*mib {
+		t.Fatalf("MemBytes = %d", d.MemBytes)
+	}
+	if err := h.LoadImage(d.ID, "daytime", 480*1024); err != nil {
+		t.Fatal(err)
+	}
+	if d.State != StatePaused {
+		t.Fatalf("state after load: %v", d.State)
+	}
+	if err := h.Unpause(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	if d.State != StateRunning {
+		t.Fatalf("state after unpause: %v", d.State)
+	}
+	used := h.UsedMemBytes()
+	if err := h.DestroyDomain(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Domain(d.ID); !errors.Is(err, ErrNoSuchDomain) {
+		t.Fatalf("destroyed domain still resolvable: %v", err)
+	}
+	if h.UsedMemBytes() >= used {
+		t.Fatal("destroy did not release memory")
+	}
+}
+
+func TestLoadImageRequiresPopulatedMemory(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	if err := h.LoadImage(d.ID, "img", mib); err == nil {
+		t.Fatal("image load into unpopulated domain accepted")
+	}
+}
+
+func TestUnpauseRequiresImage(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	if err := h.Unpause(d.ID); !errors.Is(err, ErrBadState) {
+		t.Fatalf("unpause of unbuilt domain: %v", err)
+	}
+}
+
+func TestDestroyDom0Refused(t *testing.T) {
+	h := newHV()
+	if err := h.DestroyDomain(0); !errors.Is(err, ErrNotPrivileged) {
+		t.Fatalf("Dom0 destroy: %v", err)
+	}
+}
+
+func TestVCPUPinningRoundRobin(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib, VCPUs: 5, Cores: []int{2, 3}})
+	want := []int{2, 3, 2, 3, 2}
+	for i, v := range d.VCPUs {
+		if v.Core != want[i] {
+			t.Fatalf("vcpu %d pinned to core %d, want %d", i, v.Core, want[i])
+		}
+	}
+}
+
+func TestDomainIDsSorted(t *testing.T) {
+	h := newHV()
+	for i := 0; i < 5; i++ {
+		if _, err := h.CreateDomain(Config{MaxMem: mib}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := h.DomainIDs()
+	if len(ids) != 5 {
+		t.Fatalf("DomainIDs len = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("ids not ascending: %v", ids)
+		}
+	}
+}
+
+func TestHypercallsAdvanceClock(t *testing.T) {
+	clock := sim.NewClock()
+	h := New(clock, 8*1024*mib)
+	before := clock.Now()
+	d, _ := h.CreateDomain(Config{MaxMem: 8 * mib})
+	_ = h.PopulatePhysmap(d.ID, 8*mib)
+	if clock.Now() <= before {
+		t.Fatal("hypercalls did not consume virtual time")
+	}
+	if h.Count.Hypercalls < 2 {
+		t.Fatalf("hypercall counter = %d", h.Count.Hypercalls)
+	}
+}
+
+func TestEventChannelFlow(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	p, err := h.AllocUnboundPort(0, d.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	if err := h.BindPort(p, d.ID, func() { fired++ }); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Send(p); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("handler fired %d times", fired)
+	}
+	if h.PortPending(p) != 1 {
+		t.Fatalf("pending = %d", h.PortPending(p))
+	}
+	if err := h.ClosePort(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Send(p); err == nil {
+		t.Fatal("send on closed port succeeded")
+	}
+}
+
+func TestBindPortWrongPeerRejected(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	e, _ := h.CreateDomain(Config{MaxMem: mib})
+	p, _ := h.AllocUnboundPort(0, d.ID)
+	if err := h.BindPort(p, e.ID, func() {}); err == nil {
+		t.Fatal("bind from wrong peer accepted")
+	}
+}
+
+func TestSendUnboundPortNoHandler(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	p, _ := h.AllocUnboundPort(0, d.ID)
+	if err := h.Send(p); err != nil { // event is queued, no upcall
+		t.Fatal(err)
+	}
+}
+
+func TestGrantFlow(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	r, err := h.GrantAccess(d.ID, 0, 0x1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := h.MapGrant(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame != 0x1000 {
+		t.Fatalf("mapped frame %#x", frame)
+	}
+	if _, err := h.MapGrant(r, DomID(99)); err == nil {
+		t.Fatal("map by wrong peer accepted")
+	}
+	if err := h.EndGrant(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.MapGrant(r, 0); err == nil {
+		t.Fatal("map of revoked grant accepted")
+	}
+}
+
+func TestDestroyCleansChannelsAndGrants(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	_ = h.PopulatePhysmap(d.ID, mib)
+	p, _ := h.AllocUnboundPort(d.ID, 0)
+	r, _ := h.GrantAccess(d.ID, 0, 1, true)
+	if err := h.DestroyDomain(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Send(p); err == nil {
+		t.Fatal("channel survived domain destroy")
+	}
+	if _, err := h.MapGrant(r, 0); err == nil {
+		t.Fatal("grant survived domain destroy")
+	}
+	if h.NumPorts() != 0 || h.NumGrants() != 0 {
+		t.Fatalf("leak: ports=%d grants=%d", h.NumPorts(), h.NumGrants())
+	}
+}
+
+func TestDevicePage(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	if err := h.CreateDevicePage(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	e := DevEntry{Kind: DevVif, Index: 0, BackendID: 0, Evtchn: 7, CtrlGrant: 9, MAC: "00:16:3e:00:00:01"}
+	if err := h.DevicePageWrite(0, d.ID, e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.DevicePageMap(d.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].MAC != e.MAC || got[0].Evtchn != 7 {
+		t.Fatalf("device page read %+v", got)
+	}
+	// Snapshot semantics: mutating the returned slice must not affect
+	// the page.
+	got[0].MAC = "mutated"
+	got2, _ := h.DevicePageMap(d.ID)
+	if got2[0].MAC != e.MAC {
+		t.Fatal("DevicePageMap returned aliased storage")
+	}
+	if err := h.DevicePageRemove(0, d.ID, DevVif, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DevicePageRemove(0, d.ID, DevVif, 0); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestDevicePageOnlyDom0Writes(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	err := h.DevicePageWrite(d.ID, d.ID, DevEntry{Kind: DevVif})
+	if !errors.Is(err, ErrNotPrivileged) {
+		t.Fatalf("guest write to device page: %v", err)
+	}
+	if err := h.DevicePageRemove(d.ID, d.ID, DevVif, 0); !errors.Is(err, ErrNotPrivileged) {
+		t.Fatalf("guest remove from device page: %v", err)
+	}
+}
+
+func TestDevicePageFull(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	for i := 0; i < DevicePageSlots; i++ {
+		if err := h.DevicePageWrite(0, d.ID, DevEntry{Kind: DevVif, Index: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.DevicePageWrite(0, d.ID, DevEntry{Kind: DevVif, Index: 99}); !errors.Is(err, ErrDevPageFull) {
+		t.Fatalf("overfull device page: %v", err)
+	}
+}
+
+func TestSuspendAndResume(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: 8 * mib})
+	_ = h.PopulatePhysmap(d.ID, 8*mib)
+	_ = h.LoadImage(d.ID, "daytime", 480*1024)
+	_ = h.Unpause(d.ID)
+	if err := h.Suspend(d.ID, "suspend"); err != nil {
+		t.Fatal(err)
+	}
+	if d.State != StateSuspended || d.ShutdownReason != "suspend" {
+		t.Fatalf("state=%v reason=%q", d.State, d.ShutdownReason)
+	}
+	if err := h.Unpause(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	if d.State != StateRunning {
+		t.Fatalf("resume left state %v", d.State)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateRunning.String() != "running" || State(99).String() == "" {
+		t.Fatal("State.String broken")
+	}
+	if DevSysctl.String() != "sysctl" || DevKind(99).String() == "" {
+		t.Fatal("DevKind.String broken")
+	}
+}
+
+func TestManyDomainsMemoryAccounting(t *testing.T) {
+	h := New(sim.NewClock(), 64*1024*mib)
+	base := h.UsedMemBytes()
+	const n = 100
+	for i := 0; i < n; i++ {
+		d, err := h.CreateDomain(Config{MaxMem: 8 * mib})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.PopulatePhysmap(d.ID, 8*mib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := h.UsedMemBytes() - base
+	if got != n*8*mib {
+		t.Fatalf("guest memory accounted %d, want %d", got, n*8*mib)
+	}
+	for _, id := range h.DomainIDs() {
+		if err := h.DestroyDomain(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.UsedMemBytes() != base {
+		t.Fatal("memory not fully released after mass destroy")
+	}
+}
+
+func TestPopulateSharedDedup(t *testing.T) {
+	h := newHV()
+	used0 := h.UsedMemBytes()
+	var doms []*Domain
+	for i := 0; i < 10; i++ {
+		d, err := h.CreateDomain(Config{MaxMem: 8 * mib})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.PopulatePhysmap(d.ID, 4*mib); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.PopulateShared(d.ID, "img:shared-kernel", 4*mib); err != nil {
+			t.Fatal(err)
+		}
+		if d.MemBytes != 8*mib || d.SharedBytes != 4*mib {
+			t.Fatalf("dom accounting: mem=%d shared=%d", d.MemBytes, d.SharedBytes)
+		}
+		doms = append(doms, d)
+	}
+	// Host pays 10×4MiB private + 1×4MiB shared.
+	wantHost := uint64(10*4*mib + 4*mib)
+	if got := h.UsedMemBytes() - used0; got != wantHost {
+		t.Fatalf("host usage = %d, want %d", got, wantHost)
+	}
+	if h.Share.Refs("img:shared-kernel") != 10 {
+		t.Fatalf("share refs = %d", h.Share.Refs("img:shared-kernel"))
+	}
+	// Destroying releases both private and shared references.
+	for _, d := range doms {
+		if err := h.DestroyDomain(d.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.UsedMemBytes() != used0 {
+		t.Fatalf("leak after destroy: %d vs %d", h.UsedMemBytes(), used0)
+	}
+	if h.Share.Regions() != 0 {
+		t.Fatal("shared region survived all sharers")
+	}
+}
+
+func TestPopulateSharedCheaperThanPrivate(t *testing.T) {
+	clock := sim.NewClock()
+	h := New(clock, 8*1024*mib)
+	d1, _ := h.CreateDomain(Config{MaxMem: 64 * mib})
+	t0 := clock.Now()
+	_ = h.PopulatePhysmap(d1.ID, 32*mib)
+	privateCost := clock.Now().Sub(t0)
+	d2, _ := h.CreateDomain(Config{MaxMem: 64 * mib})
+	_ = h.PopulateShared(d2.ID, "k", 32*mib) // first sharer allocates
+	d3, _ := h.CreateDomain(Config{MaxMem: 64 * mib})
+	t1 := clock.Now()
+	_ = h.PopulateShared(d3.ID, "k", 32*mib) // hit: mapping only
+	sharedCost := clock.Now().Sub(t1)
+	if sharedCost >= privateCost {
+		t.Fatalf("shared mapping (%v) not cheaper than populate (%v)", sharedCost, privateCost)
+	}
+}

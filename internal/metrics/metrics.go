@@ -1,0 +1,218 @@
+// Package metrics provides the small statistics and table machinery
+// the experiment harness uses to report paper figures: value series,
+// percentiles, CDFs and fixed-width table rendering.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Series is an ordered list of float64 samples.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) { s.Values = append(s.Values, v) }
+
+// AddDuration appends a duration in milliseconds.
+func (s *Series) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// Len reports the sample count.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Min returns the smallest sample (0 when empty).
+func (s *Series) Min() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample (0 when empty).
+func (s *Series) Max() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	m := s.Values[0]
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank on a sorted copy; 0 when empty.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.Values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Median is Percentile(50).
+func (s *Series) Median() float64 { return s.Percentile(50) }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical CDF of the series.
+func (s *Series) CDF() []CDFPoint {
+	if len(s.Values) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), s.Values...)
+	sort.Float64s(sorted)
+	out := make([]CDFPoint, len(sorted))
+	for i, v := range sorted {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// Table is a rectangular result set with named columns, one row per
+// data point — the shape every figure/table generator returns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]float64
+	// Notes carries caveats (substitutions, calibration remarks).
+	Notes []string
+}
+
+// NewTable creates an empty table.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; it panics if the arity is wrong (programmer
+// error in an experiment generator).
+func (t *Table) AddRow(vals ...float64) {
+	if len(vals) != len(t.Columns) {
+		panic(fmt.Sprintf("metrics: row arity %d != %d columns in %q", len(vals), len(t.Columns), t.Title))
+	}
+	t.Rows = append(t.Rows, vals)
+}
+
+// Note appends a caveat line.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Column returns the values of the named column.
+func (t *Table) Column(name string) ([]float64, error) {
+	for i, c := range t.Columns {
+		if c == name {
+			out := make([]float64, len(t.Rows))
+			for r, row := range t.Rows {
+				out[r] = row[i]
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("metrics: table %q has no column %q", t.Title, name)
+}
+
+// String renders the table with fixed-width columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	cells := make([][]string, len(t.Rows))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(row))
+		for i, v := range row {
+			cells[r][i] = formatCell(v)
+			if len(cells[r][i]) > widths[i] {
+				widths[i] = len(cells[r][i])
+			}
+		}
+	}
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// formatCell renders a float compactly: integers without decimals,
+// small values with three significant decimals.
+func formatCell(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 100 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Monotone reports whether the column values are non-decreasing.
+func Monotone(vals []float64) bool {
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Median() != 0 {
+		t.Fatal("empty series stats not zero")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	if s.Len() != 3 || s.Min() != 1 || s.Max() != 3 || s.Mean() != 2 {
+		t.Fatalf("stats: len=%d min=%v max=%v mean=%v", s.Len(), s.Min(), s.Max(), s.Mean())
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Series
+	s.AddDuration(1500 * time.Microsecond)
+	if s.Values[0] != 1.5 {
+		t.Fatalf("AddDuration stored %v, want 1.5 ms", s.Values[0])
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := map[float64]float64{0: 1, 50: 50, 90: 90, 100: 100, 99: 99}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Fatalf("P%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	s := Series{Values: []float64{5, 1, 3}}
+	if s.Median() != 3 {
+		t.Fatalf("odd median = %v", s.Median())
+	}
+	s.Add(7)
+	if m := s.Median(); m != 3 && m != 5 {
+		t.Fatalf("even median = %v", m)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	s := Series{Values: []float64{10, 20, 30, 40}}
+	cdf := s.CDF()
+	if len(cdf) != 4 {
+		t.Fatalf("CDF len = %d", len(cdf))
+	}
+	if cdf[0].Value != 10 || cdf[0].Fraction != 0.25 {
+		t.Fatalf("first point %+v", cdf[0])
+	}
+	if cdf[3].Value != 40 || cdf[3].Fraction != 1 {
+		t.Fatalf("last point %+v", cdf[3])
+	}
+	if !sort.Float64sAreSorted([]float64{cdf[0].Value, cdf[1].Value, cdf[2].Value, cdf[3].Value}) {
+		t.Fatal("CDF values unsorted")
+	}
+	if (&Series{}).CDF() != nil {
+		t.Fatal("empty CDF not nil")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("fig-test", "n", "time_ms")
+	tab.AddRow(1, 2.5)
+	tab.AddRow(1000, 4.125)
+	tab.Note("calibrated against §6.1")
+	out := tab.String()
+	for _, want := range []string{"# fig-test", "n", "time_ms", "1000", "2.500", "note: calibrated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableColumn(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow(1, 10)
+	tab.AddRow(2, 20)
+	b, err := tab.Column("b")
+	if err != nil || len(b) != 2 || b[1] != 20 {
+		t.Fatalf("Column = %v, %v", b, err)
+	}
+	if _, err := tab.Column("zzz"); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestTableArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong arity did not panic")
+		}
+	}()
+	NewTable("t", "a").AddRow(1, 2)
+}
+
+func TestMonotone(t *testing.T) {
+	if !Monotone([]float64{1, 1, 2, 3}) {
+		t.Fatal("monotone rejected")
+	}
+	if Monotone([]float64{1, 3, 2}) {
+		t.Fatal("non-monotone accepted")
+	}
+	if !Monotone(nil) {
+		t.Fatal("empty not monotone")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(raw []float64, pa, pb uint8) bool {
+		var s Series
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				s.Add(v)
+			}
+		}
+		if s.Len() == 0 {
+			return true
+		}
+		a, b := float64(pa%101), float64(pb%101)
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := s.Percentile(a), s.Percentile(b)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	tab := NewTable("fig-plot", "n", "xl_ms", "lightvm_ms")
+	for i := 1; i <= 10; i++ {
+		tab.AddRow(float64(i*100), float64(i)*90, 4.1)
+	}
+	out := tab.Plot(60, 12, false)
+	for _, want := range []string{"# fig-plot", "x=n", "*=xl_ms", "+=lightvm_ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("plot has no data markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + xlabels + legend
+	if len(lines) != 1+12+1+1+1 {
+		t.Fatalf("plot has %d lines", len(lines))
+	}
+}
+
+func TestPlotLogScaleSkipsNonPositive(t *testing.T) {
+	tab := NewTable("log", "n", "v")
+	tab.AddRow(1, 0) // skipped on log axis
+	tab.AddRow(10, 1)
+	tab.AddRow(100, 1000)
+	out := tab.Plot(40, 8, true)
+	if !strings.Contains(out, "(log y)") {
+		t.Fatal("log marker missing")
+	}
+	// Two plotted points plus one '*' in the legend.
+	if strings.Count(out, "*") != 3 {
+		t.Fatalf("want 2 plotted points (+legend), got:\n%s", out)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	empty := NewTable("e", "x", "y")
+	if !strings.Contains(empty.Plot(40, 8, false), "no data") {
+		t.Fatal("empty table plot")
+	}
+	flat := NewTable("f", "x", "y")
+	flat.AddRow(1, 5)
+	flat.AddRow(2, 5)
+	if out := flat.Plot(40, 8, false); !strings.Contains(out, "*") {
+		t.Fatalf("constant series unplotted:\n%s", out)
+	}
+	allNeg := NewTable("n", "x", "y")
+	allNeg.AddRow(1, -1)
+	if out := allNeg.Plot(40, 8, true); !strings.Contains(out, "no plottable") {
+		t.Fatalf("negative-only log plot: %s", out)
+	}
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plot markers, one per series (paper figures carry up to ~8 series).
+var plotMarkers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders the table as an ASCII chart: the first column is the x
+// axis, every other column a series. Non-positive values are skipped
+// when logY is set (the paper's boot-time figures are log-scale).
+func (t *Table) Plot(width, height int, logY bool) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	if len(t.Columns) < 2 || len(t.Rows) == 0 {
+		return fmt.Sprintf("# %s\n(no data to plot)\n", t.Title)
+	}
+
+	tr := func(v float64) (float64, bool) {
+		if logY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+
+	// Axis ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, row := range t.Rows {
+		x := row[0]
+		if x < xmin {
+			xmin = x
+		}
+		if x > xmax {
+			xmax = x
+		}
+		for _, v := range row[1:] {
+			tv, ok := tr(v)
+			if !ok {
+				continue
+			}
+			if tv < ymin {
+				ymin = tv
+			}
+			if tv > ymax {
+				ymax = tv
+			}
+		}
+	}
+	if math.IsInf(xmin, 1) || math.IsInf(ymin, 1) {
+		return fmt.Sprintf("# %s\n(no plottable values)\n", t.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(x, y float64, marker byte) {
+		cx := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		cy := int((y - ymin) / (ymax - ymin) * float64(height-1))
+		row := height - 1 - cy
+		if cx >= 0 && cx < width && row >= 0 && row < height {
+			grid[row][cx] = marker
+		}
+	}
+	for si := 1; si < len(t.Columns); si++ {
+		marker := plotMarkers[(si-1)%len(plotMarkers)]
+		for _, row := range t.Rows {
+			tv, ok := tr(row[si])
+			if !ok {
+				continue
+			}
+			put(row[0], tv, marker)
+		}
+	}
+
+	// Assemble with y labels.
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	inv := func(v float64) float64 {
+		if logY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for i, line := range grid {
+		frac := float64(height-1-i) / float64(height-1)
+		label := ""
+		if i == 0 || i == height-1 || i == height/2 {
+			label = formatCell(inv(ymin + frac*(ymax-ymin)))
+		}
+		fmt.Fprintf(&b, "%10s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", "", width-len(formatCell(xmax)), formatCell(xmin), formatCell(xmax))
+	// Legend.
+	var legend []string
+	for si := 1; si < len(t.Columns); si++ {
+		legend = append(legend, fmt.Sprintf("%c=%s", plotMarkers[(si-1)%len(plotMarkers)], t.Columns[si]))
+	}
+	fmt.Fprintf(&b, "x=%s   %s", t.Columns[0], strings.Join(legend, "  "))
+	if logY {
+		b.WriteString("   (log y)")
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,372 @@
+// Package migrate implements checkpointing (save/restore, Fig. 12) and
+// live migration (Fig. 13) for both control planes:
+//
+//   - XenStore path: xl-style, suspending through a control/shutdown
+//     store handshake and carrying libxc/libxl fixed costs;
+//   - noxs path: LightVM's sysctl split device flips a field in the
+//     shared page and kicks an event channel, "chaos opens a TCP
+//     connection to a migration daemon running on the remote host and
+//     sends the guest's configuration so that the daemon pre-creates
+//     the domain and creates the devices" (§5.1).
+//
+// Checkpoints carry a real serialized descriptor (encoding/gob); guest
+// page contents are charged by size rather than copied.
+package migrate
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/guest"
+	"lightvm/internal/hv"
+	"lightvm/internal/toolstack"
+	"lightvm/internal/xenbus"
+)
+
+// Checkpoint is a saved guest.
+type Checkpoint struct {
+	Name     string
+	Image    guest.Image
+	Mode     toolstack.Mode
+	MemBytes uint64
+
+	// Blob is the serialized descriptor (what libxc would stream).
+	Blob []byte
+}
+
+// descriptor is the gob-encoded wire format.
+type descriptor struct {
+	Name      string
+	ImageName string
+	Kind      guest.Kind
+	MemBytes  uint64
+	Devices   []hv.DevKind
+	MACs      []string
+}
+
+// encode builds the wire blob for a VM.
+func encode(vm *toolstack.VM) ([]byte, error) {
+	d := descriptor{
+		Name:      vm.Name,
+		ImageName: vm.Image.Name,
+		Kind:      vm.Image.Kind,
+		MemBytes:  vm.Image.MemBytes,
+	}
+	for _, dev := range vm.Image.Devices {
+		d.Devices = append(d.Devices, dev.Kind)
+		d.MACs = append(d.MACs, dev.MAC)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		return nil, fmt.Errorf("migrate: encode %q: %w", vm.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decode parses a wire blob.
+func decode(blob []byte) (descriptor, error) {
+	var d descriptor
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&d); err != nil {
+		return d, fmt.Errorf("migrate: decode: %w", err)
+	}
+	return d, nil
+}
+
+// suspend quiesces a running guest through the mode's control channel.
+func suspend(e *toolstack.Env, vm *toolstack.VM) error {
+	if vm.Mode.UsesStore() {
+		// xl: write control/shutdown=suspend, wait for the guest to
+		// acknowledge via the store.
+		domPath := fmt.Sprintf("/local/domain/%d", vm.Dom.ID)
+		e.Store.Write(domPath+"/control/shutdown", "suspend")
+		e.Clock.Sleep(costs.SuspendHandshakeXS)
+		_, _ = e.Store.Read(domPath + "/control/shutdown")
+		return e.HV.Suspend(vm.Dom.ID, "suspend")
+	}
+	return e.Noxs.RequestShutdown(vm.Dom.ID, "suspend")
+}
+
+// dumpCost charges serializing the guest's pages.
+func dumpCost(e *toolstack.Env, memBytes uint64) {
+	mb := float64(memBytes) / (1 << 20)
+	e.Clock.Sleep(time.Duration(mb * float64(costs.MemDumpPerMB)))
+}
+
+// loadCost charges restoring the guest's pages.
+func loadCost(e *toolstack.Env, memBytes uint64) {
+	mb := float64(memBytes) / (1 << 20)
+	e.Clock.Sleep(time.Duration(mb * float64(costs.MemLoadPerMB)))
+}
+
+// Save checkpoints vm to an in-memory image and destroys the running
+// instance, returning the checkpoint and the measured save time.
+func Save(e *toolstack.Env, vm *toolstack.VM) (*Checkpoint, time.Duration, error) {
+	start := e.Clock.Now()
+	var cp *Checkpoint
+	var retErr error
+	e.RunDom0(func() {
+		if err := suspend(e, vm); err != nil {
+			retErr = err
+			return
+		}
+		if vm.Mode == toolstack.ModeXL {
+			e.Clock.Sleep(costs.XLSaveFixed)
+		}
+		blob, err := encode(vm)
+		if err != nil {
+			retErr = err
+			return
+		}
+		dumpCost(e, vm.Image.MemBytes)
+		cp = &Checkpoint{
+			Name: vm.Name, Image: vm.Image, Mode: vm.Mode,
+			MemBytes: vm.Image.MemBytes, Blob: blob,
+		}
+	})
+	if retErr != nil {
+		return nil, 0, retErr
+	}
+	// The save completes when the checkpoint is durable; the remaining
+	// teardown of the suspended instance happens after the measurement
+	// window (it is asynchronous on real hosts, but still charged to
+	// the clock).
+	saveTime := time.Duration(e.Clock.Now().Sub(start))
+	e.RunDom0(func() {
+		e.UnregisterRunning(vm)
+		if vm.Mode.UsesStore() {
+			for i, dev := range vm.Image.Devices {
+				xenbus.RemoveDeviceEntries(e.Store, vm.Dom.ID, dev.Kind, i)
+			}
+			_ = e.Store.Rm(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
+		} else {
+			e.Noxs.DestroyAll(vm.Dom.ID)
+		}
+		retErr = e.HV.DestroyDomain(vm.Dom.ID)
+	})
+	if retErr != nil {
+		return nil, 0, retErr
+	}
+	e.Forget(vm)
+	e.Trace.Emit("migrate", "save", vm.Name, "mode="+vm.Mode.String(), saveTime)
+	return cp, saveTime, nil
+}
+
+// Restore brings a checkpoint back as a running VM on e, returning the
+// new VM and the measured restore time.
+func Restore(e *toolstack.Env, cp *Checkpoint) (*toolstack.VM, time.Duration, error) {
+	start := e.Clock.Now()
+	desc, err := decode(cp.Blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	if desc.Name != cp.Name || desc.MemBytes != cp.MemBytes {
+		return nil, 0, fmt.Errorf("migrate: checkpoint descriptor mismatch for %q", cp.Name)
+	}
+	vm := &toolstack.VM{Name: cp.Name, Image: cp.Image, Mode: cp.Mode, Core: e.Sched.Place()}
+	if err := e.Register(vm); err != nil {
+		return nil, 0, err
+	}
+	var retErr error
+	e.RunDom0(func() {
+		if cp.Mode == toolstack.ModeXL {
+			e.Clock.Sleep(costs.XLRestoreFixed)
+		} else {
+			e.Clock.Sleep(costs.ToolstackInternalChaos)
+		}
+		dom, err := e.HV.CreateDomain(hv.Config{
+			MaxMem: cp.MemBytes, VCPUs: 1, Cores: []int{vm.Core},
+		})
+		if err != nil {
+			retErr = err
+			return
+		}
+		vm.Dom = dom
+		if err := e.PopulateGuest(dom.ID, cp.Image); err != nil {
+			retErr = err
+			return
+		}
+		loadCost(e, cp.MemBytes)
+		retErr = recreateDevices(e, vm)
+		if retErr != nil {
+			return
+		}
+		dom.State = hv.StateSuspended // restored image resumes, not boots
+		retErr = e.HV.Unpause(dom.ID)
+	})
+	if retErr != nil {
+		e.Forget(vm)
+		if vm.Dom != nil {
+			_ = e.HV.DestroyDomain(vm.Dom.ID)
+		}
+		return nil, 0, retErr
+	}
+	// Guest side: reconnect frontends (no OS boot — state is resumed).
+	if err := reconnect(e, vm); err != nil {
+		return nil, 0, err
+	}
+	restoreTime := time.Duration(e.Clock.Now().Sub(start))
+	e.Trace.Emit("migrate", "restore", vm.Name, "mode="+vm.Mode.String(), restoreTime)
+	return vm, restoreTime, nil
+}
+
+// recreateDevices rebuilds the devices on the restore/migration target.
+func recreateDevices(e *toolstack.Env, vm *toolstack.VM) error {
+	if vm.Mode.UsesStore() {
+		for i, dev := range vm.Image.Devices {
+			req := struct {
+				Kind hv.DevKind
+				MAC  string
+			}{dev.Kind, dev.MAC}
+			if err := writeStoreDevice(e, vm, i, req.Kind, req.MAC); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, dev := range vm.Image.Devices {
+		if _, err := e.Noxs.CreateDevice(vm.Dom.ID, dev.Kind, i, dev.MAC); err != nil {
+			return err
+		}
+	}
+	_, err := e.Noxs.CreateDevice(vm.Dom.ID, hv.DevSysctl, 0, "")
+	return err
+}
+
+// reconnect performs the guest-side frontend reattach after resume and
+// re-registers the guest's load.
+func reconnect(e *toolstack.Env, vm *toolstack.VM) error {
+	return e.BootResumed(vm)
+}
+
+// Migrate moves vm from src to dst over the control network:
+// pre-create on the target, suspend, transfer, resume, destroy the
+// source. It returns the new VM on dst and the total migration time.
+func Migrate(src, dst *toolstack.Env, vm *toolstack.VM) (*toolstack.VM, time.Duration, error) {
+	start := src.Clock.Now()
+	// dst runs on the same virtual clock in these experiments.
+	if src.Clock != dst.Clock {
+		return nil, 0, fmt.Errorf("migrate: source and target must share a clock")
+	}
+	// The target host runs the same toolstack configuration; this also
+	// selects the right hotplug mechanism for pre-created devices.
+	_ = dst.ForMode(vm.Mode)
+
+	// 1. Control connection + config transfer; the remote daemon
+	// pre-creates the domain and its devices.
+	src.Clock.Sleep(costs.MigrationTCPSetup + costs.MigrationRTT)
+	blob, err := encode(vm)
+	if err != nil {
+		return nil, 0, err
+	}
+	desc, err := decode(blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	newVM := &toolstack.VM{Name: desc.Name, Image: vm.Image, Mode: vm.Mode, Core: dst.Sched.Place()}
+	if err := dst.Register(newVM); err != nil {
+		return nil, 0, err
+	}
+	var preErr error
+	dst.RunDom0(func() {
+		dom, err := dst.HV.CreateDomain(hv.Config{
+			MaxMem: desc.MemBytes, VCPUs: 1, Cores: []int{newVM.Core},
+		})
+		if err != nil {
+			preErr = err
+			return
+		}
+		newVM.Dom = dom
+		if err := dst.PopulateGuest(dom.ID, vm.Image); err != nil {
+			preErr = err
+			return
+		}
+		preErr = recreateDevices(dst, newVM)
+	})
+	if preErr != nil {
+		dst.Forget(newVM)
+		if newVM.Dom != nil {
+			_ = dst.HV.DestroyDomain(newVM.Dom.ID)
+		}
+		return nil, 0, preErr
+	}
+
+	// 2. Suspend the source guest.
+	var susErr error
+	src.RunDom0(func() { susErr = suspend(src, vm) })
+	if susErr != nil {
+		return nil, 0, susErr
+	}
+
+	// 3. Stream the guest pages over the wire (libxc code path).
+	mb := float64(vm.Image.MemBytes) / (1 << 20)
+	wire := time.Duration(mb / costs.MigrationWireMBps * float64(time.Second))
+	src.Clock.Sleep(wire + costs.MigrationRTT)
+
+	// 4. Resume on the target.
+	newVM.Dom.State = hv.StateSuspended
+	if err := dst.HV.Unpause(newVM.Dom.ID); err != nil {
+		return nil, 0, err
+	}
+	if err := dst.BootResumed(newVM); err != nil {
+		return nil, 0, err
+	}
+
+	// 5. Tear down the source instance (device destruction is where
+	// noxs pays its unoptimized-teardown penalty, §6.2).
+	var downErr error
+	src.RunDom0(func() {
+		src.UnregisterRunning(vm)
+		if vm.Mode.UsesStore() {
+			for i, dev := range vm.Image.Devices {
+				xenbus.RemoveDeviceEntries(src.Store, vm.Dom.ID, dev.Kind, i)
+			}
+			_ = src.Store.Rm(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
+		} else {
+			src.Noxs.DestroyAll(vm.Dom.ID)
+		}
+		downErr = src.HV.DestroyDomain(vm.Dom.ID)
+	})
+	if downErr != nil {
+		return nil, 0, downErr
+	}
+	src.Forget(vm)
+	migTime := time.Duration(src.Clock.Now().Sub(start))
+	src.Trace.Emit("migrate", "migrate", vm.Name, "mode="+vm.Mode.String(), migTime)
+	return newVM, migTime, nil
+}
+
+// writeStoreDevice writes the device's store entries and completes the
+// backend handshake on the restore path.
+func writeStoreDevice(e *toolstack.Env, vm *toolstack.VM, idx int, kind hv.DevKind, mac string) error {
+	return e.StoreDeviceCreate(vm, idx, kind, mac)
+}
+
+// Marshal serializes the whole checkpoint (descriptor blob plus
+// metadata) for storage or shipping to another host.
+func (cp *Checkpoint) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return nil, fmt.Errorf("migrate: marshal checkpoint %q: %w", cp.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalCheckpoint parses a checkpoint serialized with Marshal.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("migrate: unmarshal checkpoint: %w", err)
+	}
+	// Integrity: the inner descriptor must agree with the envelope.
+	d, err := decode(cp.Blob)
+	if err != nil {
+		return nil, err
+	}
+	if d.Name != cp.Name || d.MemBytes != cp.MemBytes {
+		return nil, fmt.Errorf("migrate: checkpoint %q fails integrity check", cp.Name)
+	}
+	return &cp, nil
+}

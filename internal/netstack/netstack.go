@@ -1,0 +1,56 @@
+// Package netstack models the two guest network stacks the paper
+// contrasts in §7.3: the Linux kernel TCP stack and the lwip stack the
+// unikernels link against — "the unikernel only achieves a fifth of
+// the throughput of Tinyx; this is mostly due to the inefficient lwip
+// stack".
+package netstack
+
+import (
+	"fmt"
+	"time"
+
+	"lightvm/internal/costs"
+)
+
+// Stack identifies a guest TCP/IP implementation.
+type Stack int
+
+// Stacks.
+const (
+	// LinuxTCP is the mature kernel stack (Tinyx, Debian, bare metal).
+	LinuxTCP Stack = iota
+	// Lwip is the embedded stack linked into Mini-OS unikernels.
+	Lwip
+)
+
+func (s Stack) String() string {
+	switch s {
+	case LinuxTCP:
+		return "linux-tcp"
+	case Lwip:
+		return "lwip"
+	}
+	return fmt.Sprintf("stack(%d)", int(s))
+}
+
+// Efficiency returns the throughput multiplier relative to Linux
+// (1.0); lwip pays the §7.3 factor.
+func (s Stack) Efficiency() float64 {
+	if s == Lwip {
+		return 1 / costs.LwipIneffFactor
+	}
+	return 1
+}
+
+// RequestCost inflates per-request CPU work by the stack's
+// inefficiency: the same application work takes lwip longer to push
+// through its protocol machinery.
+func (s Stack) RequestCost(base time.Duration) time.Duration {
+	return time.Duration(float64(base) / s.Efficiency())
+}
+
+// ConnSetup is the TCP three-way handshake CPU cost on this stack.
+func (s Stack) ConnSetup() time.Duration {
+	base := 40 * time.Microsecond
+	return s.RequestCost(base)
+}

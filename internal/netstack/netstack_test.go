@@ -1,0 +1,46 @@
+package netstack
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEfficiency(t *testing.T) {
+	if LinuxTCP.Efficiency() != 1 {
+		t.Fatalf("linux efficiency = %v", LinuxTCP.Efficiency())
+	}
+	if e := Lwip.Efficiency(); e <= 0 || e >= 1 {
+		t.Fatalf("lwip efficiency = %v", e)
+	}
+}
+
+func TestRequestCostScalesInversely(t *testing.T) {
+	base := 10 * time.Millisecond
+	linux := LinuxTCP.RequestCost(base)
+	lwip := Lwip.RequestCost(base)
+	if linux != base {
+		t.Fatalf("linux request cost = %v", linux)
+	}
+	ratio := float64(lwip) / float64(linux)
+	if ratio < 4.5 || ratio > 5.5 {
+		t.Fatalf("lwip/linux ratio = %.2f, want ≈5 (§7.3)", ratio)
+	}
+}
+
+func TestConnSetupOrdering(t *testing.T) {
+	if Lwip.ConnSetup() <= LinuxTCP.ConnSetup() {
+		t.Fatal("lwip handshake should cost more CPU")
+	}
+	if LinuxTCP.ConnSetup() <= 0 {
+		t.Fatal("zero connection cost")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if LinuxTCP.String() != "linux-tcp" || Lwip.String() != "lwip" {
+		t.Fatal("stack names")
+	}
+	if Stack(99).String() == "" {
+		t.Fatal("unknown stack name empty")
+	}
+}

@@ -1,0 +1,255 @@
+// Package noxs implements LightVM's XenStore replacement (paper §5.1):
+// a Dom0 kernel module through which the toolstack creates devices
+// with a single ioctl, a hypervisor-maintained per-domain device page
+// carrying the backend-id / event-channel / grant-reference triple,
+// and a sysctl split pseudo-device for power operations (suspend,
+// migrate) — so that VM create/save/resume/migrate/destroy never touch
+// a message-passing registry.
+//
+// Protocol (Fig. 7b):
+//
+//  1. toolstack --ioctl--> noxs module: create device; backend
+//     allocates the communication channel.
+//  2. toolstack --hypercall--> hypervisor: write channel details into
+//     the domain's device page.
+//  3. guest --hypercall--> hypervisor: map device page (read-only).
+//  4. guest binds the event channel and maps the control-page grant,
+//     then talks to the backend directly over shared memory.
+package noxs
+
+import (
+	"errors"
+	"fmt"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/devd"
+	"lightvm/internal/hv"
+	"lightvm/internal/sim"
+)
+
+// Errors.
+var (
+	ErrNoSysctl = errors.New("noxs: domain has no sysctl device")
+)
+
+// Counters tracks module activity.
+type Counters struct {
+	Ioctls         uint64
+	DevicesCreated uint64
+	DevicesGone    uint64
+	Suspends       uint64
+	Poweroffs      uint64
+}
+
+// sysctlState is the shared control page of the sysctl device.
+type sysctlState struct {
+	port           hv.Port
+	shutdownReason string
+	// onShutdown is the frontend's handler, registered when the guest
+	// connects; it models the guest saving internal state and
+	// unbinding its noxs resources before suspending.
+	onShutdown func(reason string)
+}
+
+// Module is the noxs Linux kernel module living in Dom0.
+type Module struct {
+	HV      *hv.Hypervisor
+	Clock   *sim.Clock
+	Hotplug devd.Hotplug
+
+	sysctl map[hv.DomID]*sysctlState
+	Count  Counters
+}
+
+// NewModule loads the module against h, plumbing vifs through hp
+// (LightVM pairs noxs with xendevd, but any Hotplug works).
+func NewModule(h *hv.Hypervisor, hp devd.Hotplug) *Module {
+	return &Module{HV: h, Clock: h.Clock, Hotplug: hp, sysctl: make(map[hv.DomID]*sysctlState)}
+}
+
+// ioctl charges the user→kernel round trip plus the module's
+// per-domain table scan (the only residual O(#domains) term on the
+// noxs path; it keeps Fig. 9's chaos[NoXS] curve at 8→15 ms).
+func (m *Module) ioctl() {
+	m.Count.Ioctls++
+	scan := sim.Duration(m.HV.NumDomains()) * costs.NoxsPerDomainKernelScan
+	m.Clock.Sleep(costs.IoctlRoundTrip + scan)
+}
+
+// CreateDevice is steps 1–2 of Fig. 7b: the backend allocates the
+// channel, and the toolstack publishes it on the device page.
+func (m *Module) CreateDevice(dom hv.DomID, kind hv.DevKind, idx int, mac string) (hv.DevEntry, error) {
+	m.ioctl()
+	m.Clock.Sleep(costs.NoxsBackendCreate)
+	port, err := m.HV.AllocUnboundPort(0, dom)
+	if err != nil {
+		return hv.DevEntry{}, fmt.Errorf("noxs: create %v[%d] for dom %d: %w", kind, idx, dom, err)
+	}
+	ref, err := m.HV.GrantAccess(0, dom, 0xdead0000+uint64(port), false)
+	if err != nil {
+		return hv.DevEntry{}, err
+	}
+	entry := hv.DevEntry{Kind: kind, Index: idx, BackendID: 0, Evtchn: port, CtrlGrant: ref, MAC: mac, State: 1}
+	if err := m.HV.DevicePageWrite(0, dom, entry); err != nil {
+		return hv.DevEntry{}, err
+	}
+	if kind == hv.DevVif && m.Hotplug != nil {
+		if err := m.Hotplug.Setup(fmt.Sprintf("vif%d.%d", dom, idx)); err != nil {
+			return hv.DevEntry{}, err
+		}
+	}
+	if kind == hv.DevSysctl {
+		m.sysctl[dom] = &sysctlState{port: port}
+	}
+	m.Count.DevicesCreated++
+	return entry, nil
+}
+
+// SetMAC finalizes a pre-created device's MAC address (split-toolstack
+// execute phase, Fig. 8 step "device initialization"): one device-page
+// update hypercall.
+func (m *Module) SetMAC(dom hv.DomID, kind hv.DevKind, idx int, mac string) error {
+	d, err := m.HV.Domain(dom)
+	if err != nil {
+		return err
+	}
+	if d.DevPage == nil {
+		return fmt.Errorf("noxs: dom %d has no device page", dom)
+	}
+	for i := range d.DevPage.Entries {
+		e := &d.DevPage.Entries[i]
+		if e.Kind == kind && e.Index == idx {
+			e.MAC = mac
+			m.Clock.Sleep(costs.NoxsDevicePageWrite + costs.Hypercall)
+			return nil
+		}
+	}
+	return fmt.Errorf("noxs: dom %d has no %v[%d]", dom, kind, idx)
+}
+
+// DestroyDevice tears down one device. The paper notes noxs device
+// destruction is not yet optimized (§6.2) — the cost constant reflects
+// that.
+func (m *Module) DestroyDevice(dom hv.DomID, kind hv.DevKind, idx int) error {
+	m.ioctl()
+	m.Clock.Sleep(costs.NoxsDeviceDestroy)
+	d, err := m.HV.Domain(dom)
+	if err != nil {
+		return err
+	}
+	var entry *hv.DevEntry
+	if d.DevPage != nil {
+		for i := range d.DevPage.Entries {
+			e := &d.DevPage.Entries[i]
+			if e.Kind == kind && e.Index == idx {
+				entry = e
+				break
+			}
+		}
+	}
+	if entry == nil {
+		return fmt.Errorf("noxs: dom %d has no %v[%d]", dom, kind, idx)
+	}
+	_ = m.HV.ClosePort(entry.Evtchn)
+	_ = m.HV.EndGrant(entry.CtrlGrant)
+	if kind == hv.DevVif && m.Hotplug != nil {
+		_ = m.Hotplug.Teardown(fmt.Sprintf("vif%d.%d", dom, idx))
+	}
+	if kind == hv.DevSysctl {
+		delete(m.sysctl, dom)
+	}
+	m.Count.DevicesGone++
+	return m.HV.DevicePageRemove(0, dom, kind, idx)
+}
+
+// DestroyAll tears down every device of a domain (destroy path).
+func (m *Module) DestroyAll(dom hv.DomID) {
+	d, err := m.HV.Domain(dom)
+	if err != nil || d.DevPage == nil {
+		return
+	}
+	entries := make([]hv.DevEntry, len(d.DevPage.Entries))
+	copy(entries, d.DevPage.Entries)
+	for _, e := range entries {
+		_ = m.DestroyDevice(dom, e.Kind, e.Index)
+	}
+}
+
+// ConnectGuest is the guest half (steps 3–4): map the device page,
+// bind every event channel, map every control grant. No store, no
+// watches — a handful of hypercalls.
+func (m *Module) ConnectGuest(dom hv.DomID) error {
+	entries, err := m.HV.DevicePageMap(dom)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := m.HV.BindPort(e.Evtchn, dom, m.guestUpcall(dom, e)); err != nil {
+			return err
+		}
+		if _, err := m.HV.MapGrant(e.CtrlGrant, dom); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// guestUpcall returns the guest-side event handler for a device; for
+// sysctl it implements the suspend protocol.
+func (m *Module) guestUpcall(dom hv.DomID, e hv.DevEntry) func() {
+	if e.Kind != hv.DevSysctl {
+		return func() {}
+	}
+	return func() {
+		st, ok := m.sysctl[dom]
+		if !ok {
+			return
+		}
+		reason := st.shutdownReason
+		if st.onShutdown != nil {
+			st.onShutdown(reason)
+		}
+		// Guest saves internal state and unbinds noxs event channels
+		// and device pages (§5.1), then the hypervisor marks it
+		// suspended or shut down.
+		m.Clock.Sleep(costs.SuspendHandshakeSysctl)
+		switch reason {
+		case "suspend":
+			_ = m.HV.Suspend(dom, reason)
+		case "poweroff":
+			if d, err := m.HV.Domain(dom); err == nil {
+				d.State = hv.StateShutdown
+				d.ShutdownReason = reason
+			}
+		}
+	}
+}
+
+// OnGuestShutdown registers a guest callback run before the domain
+// suspends/powers off (used by guests that must quiesce devices).
+func (m *Module) OnGuestShutdown(dom hv.DomID, fn func(reason string)) error {
+	st, ok := m.sysctl[dom]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSysctl, dom)
+	}
+	st.onShutdown = fn
+	return nil
+}
+
+// RequestShutdown is the toolstack's power operation: an ioctl to the
+// sysctl back-end sets the reason field in the shared page and kicks
+// the event channel (§5.1). reason is "suspend" or "poweroff".
+func (m *Module) RequestShutdown(dom hv.DomID, reason string) error {
+	st, ok := m.sysctl[dom]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSysctl, dom)
+	}
+	m.ioctl()
+	st.shutdownReason = reason
+	if reason == "suspend" {
+		m.Count.Suspends++
+	} else {
+		m.Count.Poweroffs++
+	}
+	return m.HV.Send(st.port)
+}

@@ -1,0 +1,197 @@
+// Package overlayfs is an in-memory layered filesystem with OverlayFS
+// semantics — upper layer writes, lower layer stacking, whiteouts —
+// used by the Tinyx build system exactly the way the paper uses the
+// real OverlayFS (§3.2): "Tinyx first mounts an empty OverlayFS
+// directory over a Debian minimal debootstrap system ... unmounting
+// this overlay gives us all the files ... we overlay this directory on
+// top of a BusyBox image as an underlay and take the contents of the
+// merged directory".
+package overlayfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrNotExist is returned for missing paths.
+var ErrNotExist = errors.New("overlayfs: file does not exist")
+
+// Entry is a file in a layer.
+type Entry struct {
+	Data []byte
+	Mode uint32
+}
+
+// Layer is one filesystem layer: files plus whiteouts masking
+// lower-layer paths.
+type Layer struct {
+	Name      string
+	files     map[string]*Entry
+	whiteouts map[string]struct{}
+}
+
+// NewLayer creates an empty layer.
+func NewLayer(name string) *Layer {
+	return &Layer{Name: name, files: make(map[string]*Entry), whiteouts: make(map[string]struct{})}
+}
+
+// clean normalizes a path to /a/b/c form.
+func clean(path string) string {
+	path = "/" + strings.Trim(path, "/")
+	for strings.Contains(path, "//") {
+		path = strings.ReplaceAll(path, "//", "/")
+	}
+	return path
+}
+
+// Put writes a file into the layer directly (used to build base
+// layers such as the debootstrap system or the BusyBox underlay).
+func (l *Layer) Put(path string, data []byte, mode uint32) {
+	p := clean(path)
+	l.files[p] = &Entry{Data: data, Mode: mode}
+	delete(l.whiteouts, p)
+}
+
+// NumFiles reports the number of files in this layer alone.
+func (l *Layer) NumFiles() int { return len(l.files) }
+
+// SizeBytes reports total file bytes in this layer alone.
+func (l *Layer) SizeBytes() uint64 {
+	var n uint64
+	for _, e := range l.files {
+		n += uint64(len(e.Data))
+	}
+	return n
+}
+
+// Overlay is a mounted view: one writable upper layer over read-only
+// lowers (lowers[0] is the bottom).
+type Overlay struct {
+	upper  *Layer
+	lowers []*Layer // bottom → top order
+}
+
+// Mount stacks lowers (bottom first) under the writable upper.
+func Mount(upper *Layer, lowers ...*Layer) *Overlay {
+	return &Overlay{upper: upper, lowers: lowers}
+}
+
+// layersTopDown yields upper, then lowers from top to bottom.
+func (o *Overlay) layersTopDown() []*Layer {
+	out := []*Layer{o.upper}
+	for i := len(o.lowers) - 1; i >= 0; i-- {
+		out = append(out, o.lowers[i])
+	}
+	return out
+}
+
+// Read returns a file's contents, honouring whiteouts.
+func (o *Overlay) Read(path string) ([]byte, error) {
+	p := clean(path)
+	for _, l := range o.layersTopDown() {
+		if _, wh := l.whiteouts[p]; wh {
+			return nil, fmt.Errorf("%w: %s (whiteout)", ErrNotExist, p)
+		}
+		if e, ok := l.files[p]; ok {
+			return e.Data, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
+}
+
+// Exists reports whether the path is visible in the merged view.
+func (o *Overlay) Exists(path string) bool {
+	_, err := o.Read(path)
+	return err == nil
+}
+
+// Write stores a file in the upper layer (copy-up semantics are
+// implicit: the upper version shadows any lower one).
+func (o *Overlay) Write(path string, data []byte, mode uint32) {
+	o.upper.Put(path, data, mode)
+}
+
+// Remove deletes a path from the merged view. Files present in lower
+// layers get a whiteout in the upper layer; upper-only files are
+// simply removed.
+func (o *Overlay) Remove(path string) error {
+	p := clean(path)
+	if !o.Exists(p) {
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	delete(o.upper.files, p)
+	for _, l := range o.lowers {
+		if _, ok := l.files[p]; ok {
+			o.upper.whiteouts[p] = struct{}{}
+			break
+		}
+	}
+	return nil
+}
+
+// RemoveTree removes every visible path under prefix and returns how
+// many entries were removed.
+func (o *Overlay) RemoveTree(prefix string) int {
+	p := clean(prefix)
+	n := 0
+	for _, path := range o.Paths() {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			if o.Remove(path) == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Paths returns every visible path in sorted order.
+func (o *Overlay) Paths() []string {
+	seen := make(map[string]bool)
+	hidden := make(map[string]bool)
+	var out []string
+	for _, l := range o.layersTopDown() {
+		for p := range l.whiteouts {
+			if !seen[p] {
+				hidden[p] = true
+			}
+		}
+		for p := range l.files {
+			if !seen[p] && !hidden[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SizeBytes reports the total visible file bytes of the merged view.
+func (o *Overlay) SizeBytes() uint64 {
+	var n uint64
+	for _, p := range o.Paths() {
+		data, err := o.Read(p)
+		if err == nil {
+			n += uint64(len(data))
+		}
+	}
+	return n
+}
+
+// Flatten materializes the merged view into a single standalone layer
+// — the "unmount and take the contents" step of the Tinyx pipeline.
+func (o *Overlay) Flatten(name string) *Layer {
+	out := NewLayer(name)
+	for _, p := range o.Paths() {
+		data, err := o.Read(p)
+		if err != nil {
+			continue
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		out.Put(p, cp, 0o644)
+	}
+	return out
+}

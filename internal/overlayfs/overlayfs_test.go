@@ -1,0 +1,209 @@
+package overlayfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestLayerPutAndSize(t *testing.T) {
+	l := NewLayer("base")
+	l.Put("/bin/sh", []byte("shell"), 0o755)
+	l.Put("bin/sh", []byte("shell2"), 0o755) // same path, normalized
+	if l.NumFiles() != 1 {
+		t.Fatalf("NumFiles = %d", l.NumFiles())
+	}
+	if l.SizeBytes() != 6 {
+		t.Fatalf("SizeBytes = %d", l.SizeBytes())
+	}
+}
+
+func TestUpperShadowsLower(t *testing.T) {
+	base := NewLayer("base")
+	base.Put("/etc/issue", []byte("Debian"), 0o644)
+	ov := Mount(NewLayer("up"), base)
+	got, err := ov.Read("/etc/issue")
+	if err != nil || string(got) != "Debian" {
+		t.Fatalf("read through: %q %v", got, err)
+	}
+	ov.Write("/etc/issue", []byte("Tinyx"), 0o644)
+	got, _ = ov.Read("/etc/issue")
+	if string(got) != "Tinyx" {
+		t.Fatalf("upper not shadowing: %q", got)
+	}
+}
+
+func TestWhiteoutHidesLowerFile(t *testing.T) {
+	base := NewLayer("base")
+	base.Put("/var/cache/apt.bin", []byte("cache"), 0o644)
+	ov := Mount(NewLayer("up"), base)
+	if err := ov.Remove("/var/cache/apt.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Exists("/var/cache/apt.bin") {
+		t.Fatal("whiteout ineffective")
+	}
+	if _, err := ov.Read("/var/cache/apt.bin"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("read of whiteout: %v", err)
+	}
+	// The base layer itself is untouched.
+	if base.NumFiles() != 1 {
+		t.Fatal("lower layer mutated")
+	}
+	// Removing again fails.
+	if err := ov.Remove("/var/cache/apt.bin"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestRemoveUpperOnlyFile(t *testing.T) {
+	ov := Mount(NewLayer("up"))
+	ov.Write("/tmp/x", []byte("1"), 0o644)
+	if err := ov.Remove("/tmp/x"); err != nil {
+		t.Fatal(err)
+	}
+	if ov.Exists("/tmp/x") {
+		t.Fatal("upper file survived remove")
+	}
+	if len(ov.upper.whiteouts) != 0 {
+		t.Fatal("needless whiteout created")
+	}
+}
+
+func TestWriteAfterWhiteoutRevives(t *testing.T) {
+	base := NewLayer("base")
+	base.Put("/f", []byte("old"), 0o644)
+	ov := Mount(NewLayer("up"), base)
+	_ = ov.Remove("/f")
+	ov.Write("/f", []byte("new"), 0o644)
+	got, err := ov.Read("/f")
+	if err != nil || string(got) != "new" {
+		t.Fatalf("revive: %q %v", got, err)
+	}
+}
+
+func TestMultipleLowersTopWins(t *testing.T) {
+	bottom := NewLayer("busybox")
+	bottom.Put("/bin/ls", []byte("busybox-ls"), 0o755)
+	bottom.Put("/bin/only-busybox", []byte("bb"), 0o755)
+	middle := NewLayer("debian")
+	middle.Put("/bin/ls", []byte("coreutils-ls"), 0o755)
+	ov := Mount(NewLayer("up"), bottom, middle)
+	got, _ := ov.Read("/bin/ls")
+	if string(got) != "coreutils-ls" {
+		t.Fatalf("layer precedence: %q", got)
+	}
+	if !ov.Exists("/bin/only-busybox") {
+		t.Fatal("bottom layer invisible")
+	}
+}
+
+func TestPathsSortedAndDeduped(t *testing.T) {
+	base := NewLayer("base")
+	base.Put("/b", []byte("1"), 0o644)
+	base.Put("/a", []byte("2"), 0o644)
+	ov := Mount(NewLayer("up"), base)
+	ov.Write("/b", []byte("xx"), 0o644)
+	ov.Write("/c", []byte("3"), 0o644)
+	paths := ov.Paths()
+	want := []string{"/a", "/b", "/c"}
+	if len(paths) != 3 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("paths = %v", paths)
+		}
+	}
+}
+
+func TestRemoveTree(t *testing.T) {
+	base := NewLayer("base")
+	base.Put("/var/cache/a", []byte("1"), 0o644)
+	base.Put("/var/cache/sub/b", []byte("2"), 0o644)
+	base.Put("/var/lib/keep", []byte("3"), 0o644)
+	ov := Mount(NewLayer("up"), base)
+	if n := ov.RemoveTree("/var/cache"); n != 2 {
+		t.Fatalf("RemoveTree removed %d", n)
+	}
+	if ov.Exists("/var/cache/a") || ov.Exists("/var/cache/sub/b") {
+		t.Fatal("tree not removed")
+	}
+	if !ov.Exists("/var/lib/keep") {
+		t.Fatal("sibling removed")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	base := NewLayer("base")
+	base.Put("/keep", []byte("k"), 0o644)
+	base.Put("/gone", []byte("g"), 0o644)
+	ov := Mount(NewLayer("up"), base)
+	ov.Write("/new", []byte("n"), 0o644)
+	_ = ov.Remove("/gone")
+	flat := ov.Flatten("merged")
+	if flat.NumFiles() != 2 {
+		t.Fatalf("flatten has %d files", flat.NumFiles())
+	}
+	// Flattened layer is independent: mutating it leaves the overlay
+	// alone.
+	flat.Put("/keep", []byte("mutated"), 0o644)
+	got, _ := ov.Read("/keep")
+	if string(got) != "k" {
+		t.Fatal("flatten aliased the overlay")
+	}
+}
+
+func TestSizeBytesMerged(t *testing.T) {
+	base := NewLayer("base")
+	base.Put("/a", make([]byte, 100), 0o644)
+	ov := Mount(NewLayer("up"), base)
+	ov.Write("/a", make([]byte, 10), 0o644) // shadows the 100
+	ov.Write("/b", make([]byte, 5), 0o644)
+	if got := ov.SizeBytes(); got != 15 {
+		t.Fatalf("SizeBytes = %d, want 15", got)
+	}
+}
+
+// Property: flatten(overlay) has exactly the visible paths, with
+// identical contents.
+func TestFlattenEquivalenceQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		base := NewLayer("base")
+		for i := 0; i < 10; i++ {
+			base.Put(fmt.Sprintf("/f%d", i), []byte{byte(i)}, 0o644)
+		}
+		ov := Mount(NewLayer("up"), base)
+		for _, op := range ops {
+			path := fmt.Sprintf("/f%d", op%16)
+			switch (op / 16) % 3 {
+			case 0:
+				ov.Write(path, []byte{byte(op)}, 0o644)
+			case 1:
+				_ = ov.Remove(path)
+			case 2:
+				_, _ = ov.Read(path)
+			}
+		}
+		flat := ov.Flatten("m")
+		paths := ov.Paths()
+		if flat.NumFiles() != len(paths) {
+			return false
+		}
+		for _, p := range paths {
+			want, err := ov.Read(p)
+			if err != nil {
+				return false
+			}
+			got, ok := flat.files[p]
+			if !ok || string(got.Data) != string(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package tinyx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KOption is one kernel config option with the (approximate) size it
+// contributes and the options it depends on.
+type KOption struct {
+	Name   string
+	SizeKB int
+	Deps   []string
+	// Feature names this option provides to the boot test.
+	Features []string
+}
+
+// kernelOptions is the synthetic Kconfig universe: the tinyconfig
+// baseline, the platform options, and the optional subsystems the
+// shrink loop can try to drop.
+var kernelOptions = []KOption{
+	// tinyconfig baseline — always on.
+	{Name: "CORE", SizeKB: 650, Features: []string{"boot"}},
+	{Name: "PRINTK", SizeKB: 80, Deps: []string{"CORE"}},
+	{Name: "BINFMT_ELF", SizeKB: 60, Deps: []string{"CORE"}, Features: []string{"exec"}},
+	{Name: "PROC_FS", SizeKB: 90, Deps: []string{"CORE"}, Features: []string{"proc"}},
+	{Name: "TTY", SizeKB: 110, Deps: []string{"CORE"}, Features: []string{"console"}},
+
+	// Platform support.
+	{Name: "XEN", SizeKB: 260, Deps: []string{"CORE"}, Features: []string{"platform-xen"}},
+	{Name: "XEN_NETFRONT", SizeKB: 90, Deps: []string{"XEN", "NET"}, Features: []string{"net-frontend"}},
+	{Name: "XEN_BLKFRONT", SizeKB: 70, Deps: []string{"XEN"}, Features: []string{"blk-frontend"}},
+	{Name: "KVM_GUEST", SizeKB: 200, Deps: []string{"CORE"}, Features: []string{"platform-kvm"}},
+	{Name: "VIRTIO_NET", SizeKB: 80, Deps: []string{"KVM_GUEST", "NET"}, Features: []string{"net-frontend"}},
+	{Name: "VIRTIO_BLK", SizeKB: 60, Deps: []string{"KVM_GUEST"}, Features: []string{"blk-frontend"}},
+
+	// Optional subsystems (shrink-loop candidates).
+	{Name: "NET", SizeKB: 520, Deps: []string{"CORE"}, Features: []string{"net"}},
+	{Name: "INET", SizeKB: 430, Deps: []string{"NET"}, Features: []string{"tcp"}},
+	{Name: "IPV6", SizeKB: 380, Deps: []string{"INET"}, Features: []string{"ipv6"}},
+	{Name: "NETFILTER", SizeKB: 290, Deps: []string{"INET"}, Features: []string{"netfilter"}},
+	{Name: "EXT4_FS", SizeKB: 480, Deps: []string{"CORE"}, Features: []string{"ext4"}},
+	{Name: "TMPFS", SizeKB: 60, Deps: []string{"CORE"}, Features: []string{"tmpfs"}},
+	{Name: "SWAP", SizeKB: 90, Deps: []string{"CORE"}, Features: []string{"swap"}},
+	{Name: "SOUND", SizeKB: 700, Deps: []string{"CORE"}, Features: []string{"sound"}},
+	{Name: "USB", SizeKB: 520, Deps: []string{"CORE"}, Features: []string{"usb"}},
+	{Name: "PCI", SizeKB: 240, Deps: []string{"CORE"}, Features: []string{"pci"}},
+	{Name: "WIRELESS", SizeKB: 610, Deps: []string{"NET"}, Features: []string{"wifi"}},
+	{Name: "CRYPTO", SizeKB: 330, Deps: []string{"CORE"}, Features: []string{"crypto"}},
+	{Name: "MODULES", SizeKB: 140, Deps: []string{"CORE"}, Features: []string{"modules"}},
+	{Name: "DEBUG_INFO", SizeKB: 900, Deps: []string{"CORE"}, Features: []string{"debug"}},
+}
+
+var kernelIndex = func() map[string]KOption {
+	m := make(map[string]KOption, len(kernelOptions))
+	for _, o := range kernelOptions {
+		m[o.Name] = o
+	}
+	return m
+}()
+
+// KernelBuild is a finished kernel configuration.
+type KernelBuild struct {
+	Platform  string
+	Enabled   map[string]bool
+	SizeBytes uint64
+	// Dropped lists the candidate options the shrink loop removed.
+	Dropped []string
+	// Rebuilds counts olddefconfig rebuild+boot-test iterations.
+	Rebuilds int
+}
+
+// tinyconfigBaseline is the always-on set.
+func tinyconfigBaseline() map[string]bool {
+	return map[string]bool{
+		"CORE": true, "PRINTK": true, "BINFMT_ELF": true, "PROC_FS": true, "TTY": true,
+	}
+}
+
+// resolveDeps enables all dependencies of enabled options (what
+// `make olddefconfig` does), returning an error on unknown options.
+func resolveDeps(enabled map[string]bool) error {
+	for changed := true; changed; {
+		changed = false
+		for name := range enabled {
+			o, ok := kernelIndex[name]
+			if !ok {
+				return fmt.Errorf("tinyx: unknown kernel option %q", name)
+			}
+			for _, d := range o.Deps {
+				if !enabled[d] {
+					enabled[d] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// configSize computes the kernel image size of a config.
+func configSize(enabled map[string]bool) uint64 {
+	var kb int
+	for name := range enabled {
+		kb += kernelIndex[name].SizeKB
+	}
+	return uint64(kb) * 1024
+}
+
+// features returns the feature set a config provides.
+func features(enabled map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for name := range enabled {
+		for _, f := range kernelIndex[name].Features {
+			out[f] = true
+		}
+	}
+	return out
+}
+
+// DefaultBootTest requires what a networked Tinyx guest needs to pass
+// the paper's example test ("attempting to wget a file from the
+// server"): boot, exec, console, TCP networking and a frontend NIC.
+func DefaultBootTest(enabled map[string]bool) bool {
+	f := features(enabled)
+	for _, need := range []string{"boot", "exec", "console", "proc", "tcp", "net-frontend"} {
+		if !f[need] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildKernel constructs a kernel for platform ("xen" or "kvm"),
+// starting from tinyconfig, adding platform built-ins, disabling
+// module support, then running the §3.2 shrink loop over candidates:
+// disable each in turn, rebuild with olddefconfig, boot-test, and
+// re-enable on failure.
+func BuildKernel(platform string, candidates []string, bootTest func(map[string]bool) bool) (KernelBuild, error) {
+	if bootTest == nil {
+		bootTest = DefaultBootTest
+	}
+	enabled := tinyconfigBaseline()
+	// olddefconfig pulls in distribution defaults that a virtual
+	// guest rarely needs — exactly what the shrink loop then prunes.
+	for _, o := range []string{"IPV6", "NETFILTER", "EXT4_FS", "SWAP", "CRYPTO", "PCI", "DEBUG_INFO"} {
+		enabled[o] = true
+	}
+	// Platform built-ins plus a working virtual NIC + TCP.
+	switch platform {
+	case "", "xen":
+		platform = "xen"
+		for _, o := range []string{"XEN", "XEN_NETFRONT", "XEN_BLKFRONT", "NET", "INET", "TMPFS"} {
+			enabled[o] = true
+		}
+	case "kvm":
+		for _, o := range []string{"KVM_GUEST", "VIRTIO_NET", "VIRTIO_BLK", "NET", "INET", "TMPFS"} {
+			enabled[o] = true
+		}
+	default:
+		return KernelBuild{}, fmt.Errorf("tinyx: unknown platform %q", platform)
+	}
+	// "By default, Tinyx disables module support as well as kernel
+	// options that are not necessary for virtualized systems."
+	delete(enabled, "MODULES")
+	if err := resolveDeps(enabled); err != nil {
+		return KernelBuild{}, err
+	}
+	if !bootTest(enabled) {
+		return KernelBuild{}, fmt.Errorf("tinyx: base %s config fails its own boot test", platform)
+	}
+
+	kb := KernelBuild{Platform: platform, Enabled: enabled}
+	if len(candidates) == 0 {
+		candidates = defaultShrinkCandidates()
+	}
+	for _, cand := range candidates {
+		if _, ok := kernelIndex[cand]; !ok {
+			return KernelBuild{}, fmt.Errorf("tinyx: unknown shrink candidate %q", cand)
+		}
+		if !enabled[cand] {
+			continue
+		}
+		// Disable, rebuild (re-resolving deps from scratch), and test.
+		trial := make(map[string]bool, len(enabled))
+		for k, v := range enabled {
+			if v && k != cand {
+				trial[k] = true
+			}
+		}
+		// Disabling an option also disables everything that needs it.
+		pruneOrphans(trial)
+		if err := resolveDeps(trial); err != nil {
+			return KernelBuild{}, err
+		}
+		kb.Rebuilds++
+		if bootTest(trial) {
+			enabled = trial
+			kb.Dropped = append(kb.Dropped, cand)
+		}
+		// else: "if the test fails, the option is re-enabled" — keep
+		// the previous config.
+	}
+	kb.Enabled = enabled
+	kb.SizeBytes = configSize(enabled)
+	sort.Strings(kb.Dropped)
+	return kb, nil
+}
+
+// defaultShrinkCandidates is the user-provided option list from the
+// paper's workflow: things a virtual guest rarely needs.
+func defaultShrinkCandidates() []string {
+	return []string{"SOUND", "USB", "WIRELESS", "PCI", "IPV6", "NETFILTER", "SWAP", "EXT4_FS", "CRYPTO", "DEBUG_INFO"}
+}
+
+// pruneOrphans removes options whose dependencies are no longer met.
+func pruneOrphans(enabled map[string]bool) {
+	for changed := true; changed; {
+		changed = false
+		for name := range enabled {
+			for _, d := range kernelIndex[name].Deps {
+				if !enabled[d] {
+					delete(enabled, name)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// DebianKernelBytes is the reference full-distribution kernel size,
+// for the "half the size of typical Debian kernels" comparison.
+func DebianKernelBytes() uint64 {
+	enabled := make(map[string]bool)
+	for _, o := range kernelOptions {
+		enabled[o.Name] = true
+	}
+	return configSize(enabled)
+}

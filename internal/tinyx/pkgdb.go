@@ -1,0 +1,247 @@
+// Package tinyx implements the paper's automated build system for
+// minimalistic Linux VMs (§3.2): dependency discovery via objdump-like
+// scanning plus the package manager, installation into an OverlayFS
+// mount over a debootstrap base, cache stripping, merging onto a
+// BusyBox underlay, and a kernel-config shrinker that starts from
+// tinyconfig and prunes options behind a boot test.
+package tinyx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Package is one entry of the (synthetic) Debian package universe.
+type Package struct {
+	Name string
+	// Depends lists package names required at runtime.
+	Depends []string
+	// Essential marks packages dpkg considers required; the paper's
+	// blacklist drops the ones "mostly for installation" (dpkg, apt).
+	Essential bool
+	// Files are installed paths with synthetic sizes; binaries embed
+	// the pseudo-ELF NEEDED list so the objdump scan has something
+	// real to parse.
+	Files []FileSpec
+	// HasInstallScript marks packages whose maintainer scripts would
+	// break in a minimal system — why Tinyx installs under an overlay
+	// on a full debootstrap instead of straight into the image.
+	HasInstallScript bool
+	// Libs are the sonames this package's binaries need (encoded into
+	// the pseudo-ELF header).
+	Libs []string
+	// Provides lists sonames this package ships.
+	Provides []string
+}
+
+// FileSpec describes one installed file.
+type FileSpec struct {
+	Path string
+	Size int
+	// Binary files get a pseudo-ELF header with the NEEDED list.
+	Binary bool
+}
+
+// SynthesizeELF produces the synthetic binary content: a recognizable
+// magic, the NEEDED list, then deterministic padding to Size.
+func SynthesizeELF(name string, needed []string, size int) []byte {
+	header := fmt.Sprintf("\x7fELF|%s|NEEDED:%s|", name, strings.Join(needed, ","))
+	if size < len(header) {
+		size = len(header)
+	}
+	out := make([]byte, size)
+	copy(out, header)
+	for i := len(header); i < size; i++ {
+		out[i] = byte(i % 251)
+	}
+	return out
+}
+
+// ScanNeeded is the objdump step (§3.2: "Tinyx uses (1) objdump to
+// generate a list of libraries"): it parses the pseudo-ELF header and
+// returns the NEEDED sonames. Non-binaries return nil.
+func ScanNeeded(data []byte) []string {
+	s := string(data)
+	if !strings.HasPrefix(s, "\x7fELF|") {
+		return nil
+	}
+	idx := strings.Index(s, "NEEDED:")
+	if idx < 0 {
+		return nil
+	}
+	rest := s[idx+len("NEEDED:"):]
+	end := strings.IndexByte(rest, '|')
+	if end >= 0 {
+		rest = rest[:end]
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return nil
+	}
+	return strings.Split(rest, ",")
+}
+
+// DB is a package universe.
+type DB struct {
+	pkgs map[string]*Package
+	// soname → package providing it.
+	providers map[string]string
+}
+
+// NewDB indexes the given packages.
+func NewDB(pkgs []*Package) *DB {
+	db := &DB{pkgs: make(map[string]*Package), providers: make(map[string]string)}
+	for _, p := range pkgs {
+		db.pkgs[p.Name] = p
+		for _, so := range p.Provides {
+			db.providers[so] = p.Name
+		}
+	}
+	return db
+}
+
+// Get returns a package by name.
+func (db *DB) Get(name string) (*Package, error) {
+	p, ok := db.pkgs[name]
+	if !ok {
+		return nil, fmt.Errorf("tinyx: unknown package %q", name)
+	}
+	return p, nil
+}
+
+// ProviderOf resolves a soname to its package.
+func (db *DB) ProviderOf(soname string) (string, error) {
+	p, ok := db.providers[soname]
+	if !ok {
+		return "", fmt.Errorf("tinyx: no package provides %q", soname)
+	}
+	return p, nil
+}
+
+// Names lists all package names sorted.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.pkgs))
+	for n := range db.pkgs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Closure computes the transitive runtime closure of the roots: both
+// declared package dependencies and objdump-discovered library needs,
+// minus the blacklist, plus the whitelist (§3.2).
+func (db *DB) Closure(roots, blacklist, whitelist []string) ([]string, error) {
+	black := make(map[string]bool, len(blacklist))
+	for _, b := range blacklist {
+		black[b] = true
+	}
+	seen := make(map[string]bool)
+	var queue []string
+	enqueue := func(name string) {
+		if !seen[name] && !black[name] {
+			seen[name] = true
+			queue = append(queue, name)
+		}
+	}
+	for _, r := range roots {
+		enqueue(r)
+	}
+	for _, w := range whitelist {
+		enqueue(w)
+	}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		p, err := db.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range p.Depends {
+			enqueue(d)
+		}
+		// objdump pass over the package's binaries.
+		for _, f := range p.Files {
+			if !f.Binary {
+				continue
+			}
+			data := SynthesizeELF(f.Path, p.Libs, f.Size)
+			for _, so := range ScanNeeded(data) {
+				prov, err := db.ProviderOf(so)
+				if err != nil {
+					return nil, fmt.Errorf("tinyx: %s needs %s: %w", name, so, err)
+				}
+				enqueue(prov)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DefaultBlacklist is the paper's list of packages "marked as required
+// (mostly for installation, e.g., dpkg) but not strictly needed for
+// running the application".
+func DefaultBlacklist() []string {
+	return []string{"dpkg", "apt", "perl-base", "debconf", "gcc-base", "init-system-helpers"}
+}
+
+// DebianUniverse builds the synthetic package universe used by tests,
+// examples and the guest-image table. Sizes are loosely modeled on
+// real jessie packages.
+func DebianUniverse() *DB {
+	kb := 1024
+	return NewDB([]*Package{
+		{Name: "libc6", Provides: []string{"libc.so.6"}, Files: []FileSpec{
+			{Path: "/lib/x86_64-linux-gnu/libc.so.6", Size: 1700 * kb, Binary: true}}},
+		{Name: "zlib1g", Provides: []string{"libz.so.1"}, Libs: []string{"libc.so.6"}, Files: []FileSpec{
+			{Path: "/lib/libz.so.1", Size: 100 * kb, Binary: true}}},
+		{Name: "libssl", Provides: []string{"libssl.so.1", "libcrypto.so.1"}, Libs: []string{"libc.so.6", "libz.so.1"}, Files: []FileSpec{
+			{Path: "/lib/libssl.so.1", Size: 430 * kb, Binary: true},
+			{Path: "/lib/libcrypto.so.1", Size: 2100 * kb, Binary: true}}},
+		{Name: "libpcre3", Provides: []string{"libpcre.so.3"}, Libs: []string{"libc.so.6"}, Files: []FileSpec{
+			{Path: "/lib/libpcre.so.3", Size: 330 * kb, Binary: true}}},
+		{Name: "busybox", Libs: []string{"libc.so.6"}, Files: []FileSpec{
+			{Path: "/bin/busybox", Size: 1900 * kb, Binary: true}}},
+		{Name: "nginx", Depends: []string{"nginx-common"}, Libs: []string{"libc.so.6", "libpcre.so.3", "libssl.so.1", "libz.so.1"}, HasInstallScript: true, Files: []FileSpec{
+			{Path: "/usr/sbin/nginx", Size: 1100 * kb, Binary: true},
+			{Path: "/etc/nginx/nginx.conf", Size: 3 * kb}}},
+		{Name: "nginx-common", Files: []FileSpec{
+			{Path: "/usr/share/nginx/html/index.html", Size: 1 * kb},
+			{Path: "/etc/nginx/mime.types", Size: 4 * kb}}},
+		{Name: "micropython", Libs: []string{"libc.so.6"}, HasInstallScript: true, Files: []FileSpec{
+			{Path: "/usr/bin/micropython", Size: 420 * kb, Binary: true}}},
+		{Name: "redis-server", Depends: []string{"redis-tools"}, Libs: []string{"libc.so.6"}, HasInstallScript: true, Files: []FileSpec{
+			{Path: "/usr/bin/redis-server", Size: 1600 * kb, Binary: true},
+			{Path: "/etc/redis/redis.conf", Size: 46 * kb}}},
+		{Name: "redis-tools", Libs: []string{"libc.so.6"}, Files: []FileSpec{
+			{Path: "/usr/bin/redis-cli", Size: 400 * kb, Binary: true}}},
+		{Name: "openssh-server", Libs: []string{"libc.so.6", "libssl.so.1", "libz.so.1"}, HasInstallScript: true, Files: []FileSpec{
+			{Path: "/usr/sbin/sshd", Size: 780 * kb, Binary: true},
+			{Path: "/etc/ssh/sshd_config", Size: 3 * kb}}},
+		{Name: "axtls", Provides: []string{"libaxtls.so.1"}, Libs: []string{"libc.so.6"}, Files: []FileSpec{
+			{Path: "/lib/libaxtls.so.1", Size: 90 * kb, Binary: true}}},
+		{Name: "tls-proxy", Depends: []string{"axtls"}, Libs: []string{"libc.so.6", "libaxtls.so.1"}, Files: []FileSpec{
+			{Path: "/usr/sbin/tls-proxy", Size: 120 * kb, Binary: true}}},
+		// Installation machinery (blacklisted by default).
+		{Name: "dpkg", Essential: true, Libs: []string{"libc.so.6"}, Files: []FileSpec{
+			{Path: "/usr/bin/dpkg", Size: 600 * kb, Binary: true},
+			{Path: "/var/lib/dpkg/status", Size: 900 * kb}}},
+		{Name: "apt", Essential: true, Depends: []string{"dpkg"}, Libs: []string{"libc.so.6", "libz.so.1"}, Files: []FileSpec{
+			{Path: "/usr/bin/apt-get", Size: 1300 * kb, Binary: true},
+			{Path: "/var/cache/apt/pkgcache.bin", Size: 3200 * kb}}},
+		{Name: "perl-base", Essential: true, Libs: []string{"libc.so.6"}, Files: []FileSpec{
+			{Path: "/usr/bin/perl", Size: 1600 * kb, Binary: true}}},
+		{Name: "debconf", Essential: true, Depends: []string{"perl-base"}, Files: []FileSpec{
+			{Path: "/usr/share/debconf/confmodule", Size: 10 * kb}}},
+		{Name: "gcc-base", Essential: true, Files: []FileSpec{
+			{Path: "/usr/lib/gcc/crt1.o", Size: 30 * kb}}},
+		{Name: "init-system-helpers", Essential: true, Depends: []string{"perl-base"}, Files: []FileSpec{
+			{Path: "/usr/sbin/update-rc.d", Size: 20 * kb}}},
+	})
+}

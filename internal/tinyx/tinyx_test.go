@@ -1,0 +1,304 @@
+package tinyx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lightvm/internal/overlayfs"
+)
+
+func TestSynthesizeAndScanELF(t *testing.T) {
+	data := SynthesizeELF("/usr/sbin/nginx", []string{"libc.so.6", "libpcre.so.3"}, 4096)
+	if len(data) != 4096 {
+		t.Fatalf("len = %d", len(data))
+	}
+	needed := ScanNeeded(data)
+	if len(needed) != 2 || needed[0] != "libc.so.6" || needed[1] != "libpcre.so.3" {
+		t.Fatalf("ScanNeeded = %v", needed)
+	}
+	if ScanNeeded([]byte("plain text file")) != nil {
+		t.Fatal("non-ELF scanned as binary")
+	}
+	if got := ScanNeeded(SynthesizeELF("x", nil, 100)); got != nil {
+		t.Fatalf("empty NEEDED = %v", got)
+	}
+}
+
+func TestClosureFollowsDepsAndLibs(t *testing.T) {
+	db := DebianUniverse()
+	pkgs, err := db.Closure([]string{"nginx"}, DefaultBlacklist(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	for _, p := range pkgs {
+		set[p] = true
+	}
+	// Declared dep.
+	if !set["nginx-common"] {
+		t.Fatalf("nginx-common missing from closure: %v", pkgs)
+	}
+	// objdump-discovered lib deps.
+	for _, want := range []string{"libc6", "libpcre3", "libssl", "zlib1g"} {
+		if !set[want] {
+			t.Fatalf("%s missing from closure: %v", want, pkgs)
+		}
+	}
+	// Blacklisted installation machinery excluded.
+	for _, banned := range []string{"dpkg", "apt", "perl-base"} {
+		if set[banned] {
+			t.Fatalf("blacklisted %s included", banned)
+		}
+	}
+}
+
+func TestClosureWhitelist(t *testing.T) {
+	db := DebianUniverse()
+	pkgs, err := db.Closure([]string{"micropython"}, DefaultBlacklist(), []string{"openssh-server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pkgs {
+		if p == "openssh-server" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("whitelisted package not installed")
+	}
+}
+
+func TestClosureUnknownPackage(t *testing.T) {
+	db := DebianUniverse()
+	if _, err := db.Closure([]string{"nonesuch"}, nil, nil); err == nil {
+		t.Fatal("unknown root accepted")
+	}
+}
+
+// mountResult exposes a build's distribution for inspection.
+func mountResult(res *BuildResult) *overlayfs.Overlay {
+	return overlayfs.Mount(res.Distribution)
+}
+
+func TestBuildNginx(t *testing.T) {
+	db := DebianUniverse()
+	res, err := Build(db, BuildConfig{App: "nginx", Platform: "xen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov := mountResult(res)
+	if !ov.Exists("/usr/sbin/nginx") {
+		t.Fatal("app binary missing")
+	}
+	if !ov.Exists("/bin/busybox") {
+		t.Fatal("busybox underlay missing")
+	}
+	// Init glue runs the app.
+	glue, err := ov.Read("/etc/init.d/rcS")
+	if err != nil || !strings.Contains(string(glue), "nginx") {
+		t.Fatalf("init glue: %q %v", glue, err)
+	}
+	// Caches and docs were stripped.
+	for _, junk := range []string{"/var/cache/apt/pkgcache.bin", "/var/lib/dpkg/status", "/usr/share/doc/base/README"} {
+		if ov.Exists(junk) {
+			t.Fatalf("junk survived: %s", junk)
+		}
+	}
+	// Sizes: image should land in the paper's "few tens of MBs" /
+	// ~10MB band.
+	mb := float64(res.ImageBytes) / (1 << 20)
+	if mb < 2 || mb > 30 {
+		t.Fatalf("tinyx nginx image = %.1f MB, want single-digit-ish MB", mb)
+	}
+	if res.KernelBytes == 0 || res.DistroBytes == 0 {
+		t.Fatal("zero size components")
+	}
+}
+
+func TestKernelShrinkLoop(t *testing.T) {
+	kb, err := BuildKernel("xen", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Droppable subsystems are gone.
+	for _, gone := range []string{"SOUND", "USB", "WIRELESS", "IPV6"} {
+		if kb.Enabled[gone] {
+			t.Fatalf("%s survived the shrink loop", gone)
+		}
+	}
+	// Boot-critical options survive.
+	for _, keep := range []string{"CORE", "TTY", "NET", "INET", "XEN_NETFRONT"} {
+		if !kb.Enabled[keep] {
+			t.Fatalf("%s was wrongly dropped", keep)
+		}
+	}
+	if kb.Rebuilds == 0 || len(kb.Dropped) == 0 {
+		t.Fatalf("shrink loop did not run: %+v", kb)
+	}
+	// "half the size of typical Debian kernels" — at most.
+	if kb.SizeBytes*2 > DebianKernelBytes() {
+		t.Fatalf("tinyx kernel %d not ≤ half of debian %d", kb.SizeBytes, DebianKernelBytes())
+	}
+}
+
+func TestKernelBootTestBlocksNeededOption(t *testing.T) {
+	// A boot test that requires netfilter must keep NETFILTER even
+	// though it is a shrink candidate.
+	needNF := func(enabled map[string]bool) bool {
+		if !DefaultBootTest(enabled) {
+			return false
+		}
+		return features(enabled)["netfilter"]
+	}
+	kb, err := BuildKernel("xen", nil, needNF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kb.Enabled["NETFILTER"] {
+		t.Fatal("required option dropped despite failing boot test")
+	}
+	if kb.Enabled["SOUND"] {
+		t.Fatal("unneeded option kept")
+	}
+}
+
+func TestKernelKVMPlatform(t *testing.T) {
+	kb, err := BuildKernel("kvm", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kb.Enabled["VIRTIO_NET"] || kb.Enabled["XEN"] {
+		t.Fatalf("kvm platform config wrong: %v", kb.Enabled)
+	}
+}
+
+func TestKernelUnknownPlatform(t *testing.T) {
+	if _, err := BuildKernel("vmware", nil, nil); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestKernelUnknownCandidate(t *testing.T) {
+	if _, err := BuildKernel("xen", []string{"NO_SUCH_OPTION"}, nil); err == nil {
+		t.Fatal("unknown candidate accepted")
+	}
+}
+
+func TestDisablingDepPrunesDependents(t *testing.T) {
+	// Dropping NET must also drop INET and XEN_NETFRONT... but then
+	// the boot test fails, so everything is restored.
+	kb, err := BuildKernel("xen", []string{"NET"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kb.Enabled["NET"] || !kb.Enabled["INET"] || !kb.Enabled["XEN_NETFRONT"] {
+		t.Fatal("boot-critical network stack lost")
+	}
+	if len(kb.Dropped) != 0 {
+		t.Fatalf("dropped = %v, want none", kb.Dropped)
+	}
+}
+
+func TestBuildMicropythonSmallerThanNginx(t *testing.T) {
+	db := DebianUniverse()
+	mp, err := Build(db, BuildConfig{App: "micropython", Platform: "xen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, err := Build(db, BuildConfig{App: "nginx", Platform: "xen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.ImageBytes >= ng.ImageBytes {
+		t.Fatalf("micropython image (%d) not smaller than nginx (%d)", mp.ImageBytes, ng.ImageBytes)
+	}
+}
+
+func TestBuildRequiresApp(t *testing.T) {
+	db := DebianUniverse()
+	if _, err := Build(db, BuildConfig{}); err == nil {
+		t.Fatal("empty app accepted")
+	}
+	if _, err := Build(db, BuildConfig{App: "nonesuch"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	db := DebianUniverse()
+	a, err := Build(db, BuildConfig{App: "redis-server", Platform: "xen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(db, BuildConfig{App: "redis-server", Platform: "xen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ImageBytes != b.ImageBytes || len(a.Packages) != len(b.Packages) {
+		t.Fatal("build not deterministic")
+	}
+}
+
+func TestClosurePropertiesQuick(t *testing.T) {
+	db := DebianUniverse()
+	apps := []string{"nginx", "micropython", "redis-server", "tls-proxy", "openssh-server"}
+	f := func(appSel uint8, extraSel uint8) bool {
+		app := apps[int(appSel)%len(apps)]
+		base, err := db.Closure([]string{app}, DefaultBlacklist(), nil)
+		if err != nil {
+			return false
+		}
+		// Monotonicity: whitelisting a package never shrinks the set.
+		extra := apps[int(extraSel)%len(apps)]
+		wider, err := db.Closure([]string{app}, DefaultBlacklist(), []string{extra})
+		if err != nil {
+			return false
+		}
+		if len(wider) < len(base) {
+			return false
+		}
+		inWider := map[string]bool{}
+		for _, p := range wider {
+			inWider[p] = true
+		}
+		for _, p := range base {
+			if !inWider[p] {
+				return false
+			}
+		}
+		// Blacklisted packages never appear.
+		for _, b := range DefaultBlacklist() {
+			if inWider[b] {
+				return false
+			}
+		}
+		// Soundness: every NEEDED soname of every included binary is
+		// provided by an included package.
+		providers := map[string]bool{}
+		for _, p := range wider {
+			pkg, _ := db.Get(p)
+			for _, so := range pkg.Provides {
+				providers[so] = true
+			}
+		}
+		for _, p := range wider {
+			pkg, _ := db.Get(p)
+			for _, f := range pkg.Files {
+				if !f.Binary {
+					continue
+				}
+				for _, so := range ScanNeeded(SynthesizeELF(f.Path, pkg.Libs, f.Size)) {
+					if !providers[so] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

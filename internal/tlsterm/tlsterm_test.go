@@ -1,0 +1,138 @@
+package tlsterm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lightvm/internal/netstack"
+	"lightvm/internal/sim"
+)
+
+func TestFullHandshakeAndRequest(t *testing.T) {
+	clock := sim.NewClock()
+	term := New(clock, netstack.LinuxTCP)
+	d, err := term.ServeRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("request consumed no time")
+	}
+	if term.Handshakes != 1 || term.Requests != 1 {
+		t.Fatalf("handshakes=%d requests=%d", term.Handshakes, term.Requests)
+	}
+	if term.Sessions() != 0 {
+		t.Fatal("session leaked after close")
+	}
+	// RSA dominates: the request must cost ≈10ms on the Linux stack.
+	if d < 9*time.Millisecond || d > 15*time.Millisecond {
+		t.Fatalf("request CPU = %v, want ≈10ms", d)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	clock := sim.NewClock()
+	term := New(clock, netstack.LinuxTCP)
+	s := term.Accept()
+	if err := term.Step(s, MsgFinished); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Finished before Hello: %v", err)
+	}
+	if err := term.Step(s, MsgAppData); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("AppData before handshake: %v", err)
+	}
+	if term.Rejected != 2 {
+		t.Fatalf("rejected = %d", term.Rejected)
+	}
+	// The session can still proceed correctly afterwards.
+	for _, m := range []MsgType{MsgClientHello, MsgClientKeyExchange, MsgChangeCipherSpec, MsgFinished} {
+		if err := term.Step(s, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.State != StateEstablished {
+		t.Fatalf("state = %d", s.State)
+	}
+}
+
+func TestDoubleHelloRejected(t *testing.T) {
+	clock := sim.NewClock()
+	term := New(clock, netstack.LinuxTCP)
+	s := term.Accept()
+	if err := term.Step(s, MsgClientHello); err != nil {
+		t.Fatal(err)
+	}
+	if err := term.Step(s, MsgClientHello); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("renegotiation accepted: %v", err)
+	}
+}
+
+func TestLwipFiveTimesSlower(t *testing.T) {
+	// §7.3: "the unikernel only achieves a fifth of the throughput".
+	c1, c2 := sim.NewClock(), sim.NewClock()
+	linux := New(c1, netstack.LinuxTCP)
+	lwip := New(c2, netstack.Lwip)
+	dLinux, err := linux.ServeRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dLwip, err := lwip.ServeRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dLwip) / float64(dLinux)
+	if ratio < 4.5 || ratio > 5.5 {
+		t.Fatalf("lwip/linux cost ratio = %.2f, want ≈5", ratio)
+	}
+}
+
+func TestHandshakeCPUCostMatchesServeRequest(t *testing.T) {
+	clock := sim.NewClock()
+	term := New(clock, netstack.Lwip)
+	measured, err := term.ServeRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := HandshakeCPUCost(netstack.Lwip)
+	diff := measured - analytic
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > time.Millisecond {
+		t.Fatalf("analytic %v vs measured %v", analytic, measured)
+	}
+}
+
+func TestThroughputMath(t *testing.T) {
+	// 14 cores at ~10.3ms/request ≈ 1350-1400 req/s — the §7.3 plateau.
+	perReq := HandshakeCPUCost(netstack.LinuxTCP).Seconds()
+	rps := 14 / perReq
+	if rps < 1200 || rps > 1500 {
+		t.Fatalf("linux-stack capacity = %.0f req/s, want ≈1400", rps)
+	}
+	rpsLwip := 14 / HandshakeCPUCost(netstack.Lwip).Seconds()
+	if rpsLwip > rps/4 {
+		t.Fatalf("lwip capacity %.0f not ≈5× below linux %.0f", rpsLwip, rps)
+	}
+}
+
+func TestStackStrings(t *testing.T) {
+	if netstack.Lwip.String() != "lwip" || netstack.LinuxTCP.String() != "linux-tcp" {
+		t.Fatal("stack names")
+	}
+	if MsgClientHello.String() != "ClientHello" {
+		t.Fatal("msg names")
+	}
+}
+
+func TestStackEfficiency(t *testing.T) {
+	if netstack.LinuxTCP.Efficiency() != 1 {
+		t.Fatal("linux efficiency")
+	}
+	if e := netstack.Lwip.Efficiency(); e <= 0.15 || e >= 0.25 {
+		t.Fatalf("lwip efficiency = %v", e)
+	}
+	if netstack.Lwip.ConnSetup() <= netstack.LinuxTCP.ConnSetup() {
+		t.Fatal("lwip conn setup should cost more")
+	}
+}

@@ -1,0 +1,200 @@
+package toolstack
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/guest"
+	"lightvm/internal/hv"
+	"lightvm/internal/xenbus"
+	"lightvm/internal/xenstore"
+)
+
+// Chaos is LightVM's lean toolstack (libchaos + chaos command, §5.1):
+// minimal config format, xendevd instead of hotplug scripts, far fewer
+// store interactions — or none at all with noxs — and optionally the
+// split toolstack's pre-created shells.
+type Chaos struct {
+	env  *Env
+	mode Mode
+}
+
+// NewChaos returns a chaos driver in one of the non-xl modes.
+func NewChaos(env *Env, mode Mode) *Chaos {
+	if mode == ModeXL {
+		panic("toolstack: NewChaos with ModeXL")
+	}
+	env.SetVifHotplug(env.Xendevd)
+	return &Chaos{env: env, mode: mode}
+}
+
+// Name implements Driver.
+func (c *Chaos) Name() string { return c.mode.String() }
+
+// Mode reports the configuration.
+func (c *Chaos) Mode() Mode { return c.mode }
+
+// Create implements Driver.
+func (c *Chaos) Create(name string, img guest.Image) (*VM, error) {
+	e := c.env
+	vm := &VM{Name: name, Image: img, Mode: c.mode}
+	if err := e.register(vm); err != nil {
+		return nil, err
+	}
+	var bd Breakdown
+	var retErr error
+	start := e.Clock.Now()
+
+	e.RunDom0(func() {
+		mark := func(dst *time.Duration, fn func()) {
+			t0 := e.Clock.Now()
+			fn()
+			*dst += e.Clock.Now().Sub(t0)
+		}
+
+		mark(&bd.Config, func() { e.Clock.Sleep(costs.ConfigParseChaos) })
+		mark(&bd.Toolstack, func() { e.Clock.Sleep(costs.ToolstackInternalChaos) })
+
+		flavor := FlavorFor(img, c.mode.UsesStore())
+		if c.mode.UsesSplit() {
+			// Execute phase on a pre-created shell.
+			var shell *Shell
+			mark(&bd.Toolstack, func() {
+				shell = e.Pool.Take(flavor)
+			})
+			if shell == nil {
+				// Pool miss: prepare inline, paying full price.
+				mark(&bd.Hypervisor, func() {
+					var err error
+					shell, err = e.Pool.Prepare(flavor)
+					if err != nil {
+						retErr = err
+					}
+				})
+				if retErr != nil {
+					return
+				}
+			}
+			vm.Dom, vm.Core = shell.Dom, shell.Core
+			mark(&bd.Devices, func() { retErr = e.Pool.finalizeDevices(shell, img) })
+			if retErr != nil {
+				return
+			}
+		} else {
+			vm.Core = e.Sched.Place()
+			mark(&bd.Hypervisor, func() {
+				dom, err := e.HV.CreateDomain(hv.Config{
+					MaxMem: img.MemBytes, VCPUs: 1, Cores: []int{vm.Core},
+				})
+				if err != nil {
+					retErr = err
+					return
+				}
+				vm.Dom = dom
+				retErr = e.PopulateGuest(dom.ID, img)
+			})
+			if retErr != nil {
+				return
+			}
+			mark(&bd.Devices, func() { retErr = c.createDevices(vm) })
+			if retErr != nil {
+				return
+			}
+		}
+
+		if c.mode.UsesStore() {
+			// chaos keeps only the handful of entries guests need.
+			mark(&bd.XenStore, func() {
+				domPath := fmt.Sprintf("/local/domain/%d", vm.Dom.ID)
+				e.Store.Write(domPath+"/name", name)
+				e.Store.Write(domPath+"/memory/target", strconv.FormatUint(img.MemBytes/1024, 10))
+				e.Store.Write(domPath+"/console/port", "2")
+			})
+		}
+
+		mark(&bd.Load, func() {
+			retErr = e.HV.LoadImage(vm.Dom.ID, img.Name, img.TotalSize())
+		})
+		if retErr != nil {
+			return
+		}
+		mark(&bd.Hypervisor, func() { retErr = e.HV.Unpause(vm.Dom.ID) })
+	})
+	if retErr != nil {
+		e.forget(vm)
+		if vm.Dom != nil {
+			_ = e.HV.DestroyDomain(vm.Dom.ID)
+		}
+		return nil, retErr
+	}
+	vm.LastBreakdown = bd
+	vm.CreateTime = e.Clock.Now().Sub(start)
+
+	bootStart := e.Clock.Now()
+	if err := e.BootGuest(vm); err != nil {
+		_ = c.Destroy(vm)
+		return nil, err
+	}
+	vm.BootTime = e.Clock.Now().Sub(bootStart)
+	e.Trace.Emit("toolstack", "create", name, "mode="+c.mode.String(), vm.CreateTime+vm.BootTime)
+	return vm, nil
+}
+
+// createDevices builds devices inline (non-split path).
+func (c *Chaos) createDevices(vm *VM) error {
+	e := c.env
+	if c.mode.UsesStore() {
+		for i, dev := range vm.Image.Devices {
+			req := xenbus.DeviceReq{Kind: dev.Kind, Dom: vm.Dom.ID, Idx: i, MAC: dev.MAC}
+			if err := e.Store.Txn(8, func(tx *xenstore.Tx) error {
+				xenbus.WriteDeviceEntries(tx, req)
+				return nil
+			}); err != nil {
+				return err
+			}
+			if err := xenbus.WaitBackendReady(e.Store, e.Clock, vm.Dom.ID, dev.Kind, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, dev := range vm.Image.Devices {
+		if _, err := e.Noxs.CreateDevice(vm.Dom.ID, dev.Kind, i, dev.MAC); err != nil {
+			return err
+		}
+	}
+	// The sysctl power device replaces XenStore-based control.
+	_, err := e.Noxs.CreateDevice(vm.Dom.ID, hv.DevSysctl, 0, "")
+	return err
+}
+
+// Destroy implements Driver.
+func (c *Chaos) Destroy(vm *VM) error {
+	e := c.env
+	e.RunDom0(func() {
+		e.UnregisterRunning(vm)
+		if c.mode.UsesStore() {
+			for i, dev := range vm.Image.Devices {
+				switch dev.Kind {
+				case hv.DevVif:
+					e.BackVif.Teardown(vm.Dom.ID, i)
+				case hv.DevVbd:
+					e.BackVbd.Teardown(vm.Dom.ID, i)
+				case hv.DevConsole:
+					e.BackConsole.Teardown(vm.Dom.ID, i)
+				}
+				xenbus.RemoveDeviceEntries(e.Store, vm.Dom.ID, dev.Kind, i)
+			}
+			_ = e.Store.Rm(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
+		} else {
+			e.Noxs.DestroyAll(vm.Dom.ID)
+		}
+		e.Clock.Sleep(costs.ToolstackInternalChaos)
+	})
+	e.forget(vm)
+	err := e.HV.DestroyDomain(vm.Dom.ID)
+	e.Trace.Emit("toolstack", "destroy", vm.Name, "mode="+c.mode.String(), 0)
+	return err
+}

@@ -1,0 +1,106 @@
+package toolstack
+
+import (
+	"fmt"
+	"time"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/hv"
+	"lightvm/internal/xenbus"
+	"lightvm/internal/xenstore"
+)
+
+// CloneVM forks a running guest Potemkin/SnowFlock-style (related work
+// §8: "JIT instantiation of honeypots through the use of image
+// cloning"): the child resumes from the parent's state, sharing the
+// bulk of its memory copy-on-write, with fresh devices of its own. The
+// first clone of a parent pays a one-time snapshot pass; subsequent
+// clones only map the shared region.
+//
+// Cloning composes the repository's extensions: the snapshot rides the
+// §9 share pool, and device re-creation uses the parent's control
+// plane (noxs or XenStore).
+func (e *Env) CloneVM(parent *VM, name string) (*VM, error) {
+	if !parent.Booted {
+		return nil, fmt.Errorf("toolstack: clone of non-running VM %q", parent.Name)
+	}
+	img := parent.Image
+	vm := &VM{Name: name, Image: img, Mode: parent.Mode, Core: e.Sched.Place()}
+	if err := e.register(vm); err != nil {
+		return nil, err
+	}
+	var retErr error
+	start := e.Clock.Now()
+	e.RunDom0(func() {
+		key := "clone:" + parent.Name
+		memMB := float64(img.MemBytes) / (1 << 20)
+		if e.HV.Share.Refs(key) == 0 {
+			// First clone: snapshot the parent (COW-protect its pages).
+			e.Clock.Sleep(time.Duration(memMB * float64(costs.CloneSnapshotPerMB)))
+		}
+		dom, err := e.HV.CreateDomain(hv.Config{
+			MaxMem: img.MemBytes, VCPUs: 1, Cores: []int{vm.Core},
+		})
+		if err != nil {
+			retErr = err
+			return
+		}
+		vm.Dom = dom
+		private := uint64(float64(img.MemBytes) * costs.CloneWorkingSetFraction)
+		shared := img.MemBytes - private
+		if err := e.HV.PopulateShared(dom.ID, key, shared); err != nil {
+			retErr = err
+			return
+		}
+		if private > 0 {
+			if err := e.HV.PopulatePhysmap(dom.ID, private); err != nil {
+				retErr = err
+				return
+			}
+		}
+		// Fresh devices: a clone must not share its parent's rings.
+		if vm.Mode.UsesStore() {
+			for i, dev := range img.Devices {
+				req := xenbus.DeviceReq{Kind: dev.Kind, Dom: dom.ID, Idx: i, MAC: dev.MAC}
+				if err := e.Store.Txn(8, func(tx *xenstore.Tx) error {
+					xenbus.WriteDeviceEntries(tx, req)
+					return nil
+				}); err != nil {
+					retErr = err
+					return
+				}
+				if err := xenbus.WaitBackendReady(e.Store, e.Clock, dom.ID, dev.Kind, i); err != nil {
+					retErr = err
+					return
+				}
+			}
+		} else {
+			for i, dev := range img.Devices {
+				if _, err := e.Noxs.CreateDevice(dom.ID, dev.Kind, i, dev.MAC); err != nil {
+					retErr = err
+					return
+				}
+			}
+			if _, err := e.Noxs.CreateDevice(dom.ID, hv.DevSysctl, 0, ""); err != nil {
+				retErr = err
+				return
+			}
+		}
+		dom.State = hv.StateSuspended // clone resumes, it does not boot
+		retErr = e.HV.Unpause(dom.ID)
+	})
+	if retErr != nil {
+		e.forget(vm)
+		if vm.Dom != nil {
+			_ = e.HV.DestroyDomain(vm.Dom.ID)
+		}
+		return nil, retErr
+	}
+	if err := e.BootResumed(vm); err != nil {
+		return nil, err
+	}
+	vm.CreateTime = e.Clock.Now().Sub(start)
+	vm.BootTime = 0 // resumed, not booted
+	e.Trace.Emit("toolstack", "clone", name, "parent="+parent.Name, vm.CreateTime)
+	return vm, nil
+}

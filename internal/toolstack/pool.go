@@ -1,0 +1,183 @@
+package toolstack
+
+import (
+	"fmt"
+	"strconv"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/guest"
+	"lightvm/internal/hv"
+	"lightvm/internal/xenbus"
+	"lightvm/internal/xenstore"
+)
+
+// Flavor identifies a class of pre-creatable domain shells: the image
+// (for memory size and — with dedup — the shared region), device set,
+// and device path. VMs of the same flavor can share a shell, "similar
+// to OpenStack's flavors" (§5.2).
+type Flavor struct {
+	Img     guest.Image
+	Store   bool // devices via XenStore (true) or noxs (false)
+	Devices []guest.DeviceSpec
+}
+
+// key folds a flavor to a map key (device kinds matter, MACs don't).
+func (f Flavor) key() string {
+	k := fmt.Sprintf("%s/%d/%v", f.Img.Name, f.Img.MemBytes, f.Store)
+	for _, d := range f.Devices {
+		k += "/" + d.Kind.String()
+	}
+	return k
+}
+
+// FlavorFor derives the shell flavor for an image under a device path.
+func FlavorFor(img guest.Image, store bool) Flavor {
+	devs := make([]guest.DeviceSpec, len(img.Devices))
+	copy(devs, img.Devices)
+	if !store {
+		// noxs guests always carry the sysctl power device (§5.1).
+		devs = append(devs, guest.DeviceSpec{Kind: hv.DevSysctl})
+	}
+	return Flavor{Img: img, Store: store, Devices: devs}
+}
+
+// Shell is a pre-created domain: hypervisor reservation done, memory
+// populated, devices pre-created — everything from Fig. 8's prepare
+// phase. The execute phase only parses config, finalizes devices,
+// builds the image and boots.
+type Shell struct {
+	Dom    *hv.Domain
+	Core   int
+	Flavor Flavor
+}
+
+// PoolStats reports pool behaviour for tests and benchmarks.
+type PoolStats struct {
+	Prepared int // shells built by the daemon
+	Taken    int // shells handed to the execute phase
+	Misses   int // Take calls that found the pool empty
+}
+
+// Pool is the chaos daemon's shell pool: "the daemon ensures that
+// there is always a certain (configurable) number of shells available
+// in the system" (§5.2). Replenish is the daemon's background beat;
+// the experiment harness invokes it between measured creations, which
+// is exactly when the real daemon gets the CPU.
+type Pool struct {
+	env     *Env
+	target  int
+	shells  map[string][]*Shell
+	flavors map[string]Flavor
+	Stats   PoolStats
+}
+
+// NewPool creates an empty pool with a default target depth of 8.
+func NewPool(env *Env) *Pool {
+	return &Pool{env: env, target: 8, shells: make(map[string][]*Shell), flavors: make(map[string]Flavor)}
+}
+
+// SetTarget configures the per-flavor shell depth.
+func (p *Pool) SetTarget(n int) { p.target = n }
+
+// Available reports ready shells for a flavor.
+func (p *Pool) Available(f Flavor) int { return len(p.shells[f.key()]) }
+
+// Take removes one shell for flavor, or returns nil on a pool miss
+// (the caller then prepares inline, paying the full cost). The flavor
+// is remembered so Replenish keeps it stocked.
+func (p *Pool) Take(f Flavor) *Shell {
+	k := f.key()
+	p.flavors[k] = f
+	q := p.shells[k]
+	if len(q) == 0 {
+		p.Stats.Misses++
+		p.env.Trace.Emit("pool", "miss", k, "", 0)
+		return nil
+	}
+	s := q[0]
+	p.shells[k] = q[1:]
+	p.Stats.Taken++
+	p.env.Clock.Sleep(costs.ShellPoolHit)
+	return s
+}
+
+// Replenish tops every known flavor up to the target depth, charging
+// the prepare work to the current (background) time.
+func (p *Pool) Replenish() error {
+	for k, f := range p.flavors {
+		for len(p.shells[k]) < p.target {
+			s, err := p.Prepare(f)
+			if err != nil {
+				return err
+			}
+			p.shells[k] = append(p.shells[k], s)
+		}
+	}
+	return nil
+}
+
+// Prepare runs the prepare phase for one shell: hypervisor
+// reservation, compute allocation, memory reservation + preparation,
+// and device pre-creation (Fig. 8 steps 1–5).
+func (p *Pool) Prepare(f Flavor) (*Shell, error) {
+	e := p.env
+	core := e.Sched.Place()
+	dom, err := e.HV.CreateDomain(hv.Config{MaxMem: f.Img.MemBytes, VCPUs: 1, Cores: []int{core}})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.PopulateGuest(dom.ID, f.Img); err != nil {
+		_ = e.HV.DestroyDomain(dom.ID)
+		return nil, err
+	}
+	if f.Store {
+		for i, dev := range f.Devices {
+			req := xenbus.DeviceReq{Kind: dev.Kind, Dom: dom.ID, Idx: i, MAC: ""}
+			if err := e.Store.Txn(8, func(tx *xenstore.Tx) error {
+				xenbus.WriteDeviceEntries(tx, req)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			if err := xenbus.WaitBackendReady(e.Store, e.Clock, dom.ID, dev.Kind, i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, dev := range f.Devices {
+			if _, err := e.Noxs.CreateDevice(dom.ID, dev.Kind, i, ""); err != nil {
+				return nil, err
+			}
+		}
+	}
+	e.Clock.Sleep(costs.ShellPrepare)
+	p.Stats.Prepared++
+	e.Trace.Emit("pool", "prepare", f.key(), "", 0)
+	return &Shell{Dom: dom, Core: core, Flavor: f}, nil
+}
+
+// finalizeDevices is the execute phase's "device initialization": set
+// the real MACs on the pre-created devices.
+func (p *Pool) finalizeDevices(s *Shell, img guest.Image) error {
+	e := p.env
+	if s.Flavor.Store {
+		domPath := fmt.Sprintf("/local/domain/%d", s.Dom.ID)
+		return e.Store.Txn(8, func(tx *xenstore.Tx) error {
+			for i, dev := range img.Devices {
+				if dev.Kind == hv.DevVif {
+					tx.Write(xenbus.FrontendPath(s.Dom.ID, dev.Kind, i)+"/mac", dev.MAC)
+				}
+			}
+			tx.Write(domPath+"/domid", strconv.Itoa(int(s.Dom.ID)))
+			return nil
+		})
+	}
+	for i, dev := range img.Devices {
+		if dev.Kind == hv.DevVif {
+			if err := e.Noxs.SetMAC(s.Dom.ID, dev.Kind, i, dev.MAC); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package toolstack
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/guest"
+	"lightvm/internal/hv"
+	"lightvm/internal/xenbus"
+	"lightvm/internal/xenstore"
+)
+
+// XL is the stock Xen toolstack (xl + libxl + libxc): XenStore for
+// everything, bash hotplug scripts, and a lot of internal round trips.
+// Its per-creation XenStore op count (~250) is what the paper's Fig. 5
+// shows ballooning as guests accumulate.
+type XL struct {
+	env *Env
+}
+
+// NewXL returns the stock driver.
+func NewXL(env *Env) *XL {
+	env.SetVifHotplug(env.Bash)
+	return &XL{env: env}
+}
+
+// Name implements Driver.
+func (x *XL) Name() string { return ModeXL.String() }
+
+// xlStateReads approximates libxl's habit of re-reading domain and
+// device state from the store across its many sub-operations (JSON
+// config lock, device counters, console negotiation, ...). Each is a
+// full protocol round trip.
+const xlStateReads = 200
+
+// Create implements the 9-step creation flow of Fig. 8's "standard
+// toolstack" column, attributing time to Fig. 5's categories.
+func (x *XL) Create(name string, img guest.Image) (*VM, error) {
+	e := x.env
+	vm := &VM{Name: name, Image: img, Mode: ModeXL, Core: e.Sched.Place()}
+	if err := e.register(vm); err != nil {
+		return nil, err
+	}
+	var bd Breakdown
+	var retErr error
+	start := e.Clock.Now()
+
+	e.RunDom0(func() {
+		mark := func(dst *time.Duration, fn func()) {
+			t0 := e.Clock.Now()
+			fn()
+			*dst += e.Clock.Now().Sub(t0)
+		}
+
+		// 1. Configuration parsing.
+		mark(&bd.Config, func() { e.Clock.Sleep(costs.ConfigParse) })
+
+		// 2. Toolstack-internal bookkeeping.
+		mark(&bd.Toolstack, func() { e.Clock.Sleep(costs.ToolstackInternalXL) })
+
+		// 3. Hypervisor reservation + memory.
+		var dom *hv.Domain
+		mark(&bd.Hypervisor, func() {
+			var err error
+			dom, err = e.HV.CreateDomain(hv.Config{
+				MaxMem: img.MemBytes, VCPUs: 1, Cores: []int{vm.Core},
+			})
+			if err != nil {
+				retErr = err
+				return
+			}
+			vm.Dom = dom // recorded immediately so error paths tear it down
+			if err := e.HV.PopulatePhysmap(dom.ID, img.MemBytes); err != nil {
+				retErr = err
+			}
+		})
+		if retErr != nil {
+			return
+		}
+
+		// 4. XenStore preamble: the domain's registry entries, the
+		// unique-name check, and libxl's many state re-reads.
+		mark(&bd.XenStore, func() {
+			domPath := fmt.Sprintf("/local/domain/%d", dom.ID)
+			retErr = e.Store.Txn(8, func(tx *xenstore.Tx) error {
+				tx.Write(domPath+"/name", name)
+				tx.Write(domPath+"/vm", "/vm/"+name)
+				tx.Write(domPath+"/domid", strconv.Itoa(int(dom.ID)))
+				tx.Write(domPath+"/memory/target", strconv.FormatUint(img.MemBytes/1024, 10))
+				tx.Write(domPath+"/memory/static-max", strconv.FormatUint(img.MemBytes/1024, 10))
+				tx.Write(domPath+"/cpu/0/availability", "online")
+				tx.Write(domPath+"/console/limit", "1048576")
+				tx.Write(domPath+"/console/type", "xenconsoled")
+				tx.Write(domPath+"/control/platform-feature-multiprocessor-suspend", "1")
+				tx.Write(domPath+"/control/shutdown", "")
+				tx.Write("/vm/"+name+"/uuid", fmt.Sprintf("0000-%08d", dom.ID))
+				tx.Write("/vm/"+name+"/image/ostype", img.Kind.String())
+				tx.Write("/vm/"+name+"/start_time", e.Clock.Now().String())
+				return nil
+			})
+			if retErr != nil {
+				return
+			}
+			if err := e.Store.WriteUniqueName("/vm/names", strconv.Itoa(int(dom.ID)), name); err != nil {
+				retErr = err
+				return
+			}
+			_, _ = e.Store.Directory("/local/domain")
+			for i := 0; i < xlStateReads; i++ {
+				_, _ = e.Store.Read(domPath + "/name")
+			}
+		})
+		if retErr != nil {
+			return
+		}
+
+		// 5–7. Device pre-creation + initialization (split-driver
+		// handshake, bash hotplug).
+		mark(&bd.Devices, func() { retErr = x.createDevices(vm) })
+		if retErr != nil {
+			return
+		}
+
+		// 8. Image build: parse the kernel and lay it out in memory.
+		mark(&bd.Load, func() {
+			retErr = e.HV.LoadImage(dom.ID, img.Name, img.TotalSize())
+		})
+		if retErr != nil {
+			return
+		}
+
+		// Finalize: console ring info etc.
+		mark(&bd.XenStore, func() {
+			domPath := fmt.Sprintf("/local/domain/%d", dom.ID)
+			e.Store.Write(domPath+"/console/ring-ref", "1")
+			e.Store.Write(domPath+"/console/port", "2")
+			e.Store.Write(domPath+"/image/entry", strconv.FormatUint(dom.KernelEntry, 16))
+			e.Store.Write(domPath+"/unpaused", "1")
+		})
+
+		// 9. Boot kick.
+		mark(&bd.Hypervisor, func() { retErr = e.HV.Unpause(dom.ID) })
+	})
+	if retErr != nil {
+		e.forget(vm)
+		if vm.Dom != nil {
+			_ = e.HV.DestroyDomain(vm.Dom.ID)
+		}
+		return nil, retErr
+	}
+	vm.LastBreakdown = bd
+	vm.CreateTime = e.Clock.Now().Sub(start)
+
+	bootStart := e.Clock.Now()
+	if err := e.BootGuest(vm); err != nil {
+		_ = x.Destroy(vm)
+		return nil, err
+	}
+	vm.BootTime = e.Clock.Now().Sub(bootStart)
+	e.Trace.Emit("toolstack", "create", name, "mode="+ModeXL.String(), vm.CreateTime+vm.BootTime)
+	return vm, nil
+}
+
+// createDevices runs the Fig. 7a handshake for every device the image
+// wants, waiting for the backend (and its hotplug script) per device.
+func (x *XL) createDevices(vm *VM) error {
+	e := x.env
+	for i, dev := range vm.Image.Devices {
+		req := xenbus.DeviceReq{Kind: dev.Kind, Dom: vm.Dom.ID, Idx: i, MAC: dev.MAC}
+		if err := e.Store.Txn(8, func(tx *xenstore.Tx) error {
+			xenbus.WriteDeviceEntries(tx, req)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := xenbus.WaitBackendReady(e.Store, e.Clock, vm.Dom.ID, dev.Kind, i); err != nil {
+			return err
+		}
+		// libxl re-reads the device's backend nodes to verify.
+		be := xenbus.BackendPath(vm.Dom.ID, dev.Kind, i)
+		for _, k := range []string{"/state", "/event-channel", "/grant-ref"} {
+			_, _ = e.Store.Read(be + k)
+		}
+	}
+	return nil
+}
+
+// Destroy tears down devices, store state and the domain.
+func (x *XL) Destroy(vm *VM) error {
+	e := x.env
+	e.RunDom0(func() {
+		e.UnregisterRunning(vm)
+		for i, dev := range vm.Image.Devices {
+			switch dev.Kind {
+			case hv.DevVif:
+				e.BackVif.Teardown(vm.Dom.ID, i)
+			case hv.DevVbd:
+				e.BackVbd.Teardown(vm.Dom.ID, i)
+			case hv.DevConsole:
+				e.BackConsole.Teardown(vm.Dom.ID, i)
+			}
+			xenbus.RemoveDeviceEntries(e.Store, vm.Dom.ID, dev.Kind, i)
+		}
+		_ = e.Store.Rm(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
+		_ = e.Store.Rm("/vm/" + vm.Name)
+		_ = e.Store.Rm(fmt.Sprintf("/vm/names/%d", vm.Dom.ID))
+		e.Clock.Sleep(costs.ToolstackInternalXL / 2)
+	})
+	e.forget(vm)
+	err := e.HV.DestroyDomain(vm.Dom.ID)
+	e.Trace.Emit("toolstack", "destroy", vm.Name, "mode="+ModeXL.String(), 0)
+	return err
+}

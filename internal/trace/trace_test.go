@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lightvm/internal/sim"
+)
+
+func TestEmitAndRead(t *testing.T) {
+	clock := sim.NewClock()
+	l := New(clock, 0)
+	clock.Sleep(5 * time.Millisecond)
+	l.Emit("toolstack", "create", "vm1", "mode=LightVM", 4*time.Millisecond)
+	clock.Sleep(time.Millisecond)
+	l.Emit("toolstack", "destroy", "vm1", "", 0)
+	evs := l.Events()
+	if len(evs) != 2 || l.Len() != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].At != sim.Time(5*time.Millisecond) || evs[0].Op != "create" {
+		t.Fatalf("first event %+v", evs[0])
+	}
+	if evs[1].At <= evs[0].At {
+		t.Fatal("timestamps not ordered")
+	}
+	// Events() is a copy.
+	evs[0].Op = "mutated"
+	if l.Events()[0].Op != "create" {
+		t.Fatal("Events aliased internal storage")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(sim.NewClock(), 0)
+	l.Emit("toolstack", "create", "a", "", 0)
+	l.Emit("migrate", "save", "a", "", 0)
+	l.Emit("toolstack", "destroy", "a", "", 0)
+	if got := len(l.Filter("toolstack", "")); got != 2 {
+		t.Fatalf("toolstack events = %d", got)
+	}
+	if got := len(l.Filter("toolstack", "create")); got != 1 {
+		t.Fatalf("create events = %d", got)
+	}
+	if got := len(l.Filter("nothing", "")); got != 0 {
+		t.Fatalf("phantom events = %d", got)
+	}
+}
+
+func TestCapDropsAndReports(t *testing.T) {
+	l := New(sim.NewClock(), 3)
+	for i := 0; i < 10; i++ {
+		l.Emit("c", "op", "s", "", 0)
+	}
+	if l.Len() != 3 || l.Dropped != 7 {
+		t.Fatalf("len=%d dropped=%d", l.Len(), l.Dropped)
+	}
+	if !strings.Contains(l.String(), "7 events dropped") {
+		t.Fatal("drop count not rendered")
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Emit("c", "op", "s", "", 0) // must not panic
+	if l.Events() != nil || l.Len() != 0 || l.Filter("c", "") != nil || l.String() != "" {
+		t.Fatal("nil log misbehaved")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{At: sim.Time(time.Second), Category: "toolstack", Op: "create",
+		Subject: "vm1", Detail: "mode=xl", Elapsed: 2 * time.Millisecond}
+	s := e.String()
+	for _, want := range []string{"1s", "toolstack", "create", "vm1", "mode=xl", "2ms"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package xenstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Model-based testing: the store must agree with a trivial reference
+// model (a flat map plus implicit directories) under arbitrary op
+// sequences. This is the strongest guard we have on the tree logic
+// that every toolstack depends on.
+
+type storeModel struct {
+	values map[string]string // path → value (leaf writes only)
+}
+
+func newModel() *storeModel { return &storeModel{values: make(map[string]string)} }
+
+func (m *storeModel) write(path, val string) { m.values[normalize(path)] = val }
+
+func (m *storeModel) rm(path string) bool {
+	p := normalize(path)
+	found := false
+	for k := range m.values {
+		if k == p || strings.HasPrefix(k, p+"/") {
+			delete(m.values, k)
+			found = true
+		}
+	}
+	return found || m.isDir(p)
+}
+
+// isDir reports whether p is an implicit directory (prefix of some
+// value path) in the model.
+func (m *storeModel) isDir(p string) bool {
+	for k := range m.values {
+		if strings.HasPrefix(k, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *storeModel) read(path string) (string, bool) {
+	v, ok := m.values[normalize(path)]
+	return v, ok
+}
+
+// children lists direct children of p.
+func (m *storeModel) children(p string) []string {
+	p = normalize(p)
+	set := map[string]bool{}
+	for k := range m.values {
+		var rest string
+		if p == "/" {
+			rest = strings.TrimPrefix(k, "/")
+		} else if strings.HasPrefix(k, p+"/") {
+			rest = strings.TrimPrefix(k, p+"/")
+		} else {
+			continue
+		}
+		if rest == "" {
+			continue
+		}
+		set[strings.SplitN(rest, "/", 2)[0]] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// modelPaths is a fixed path pool so random ops collide meaningfully.
+var modelPaths = []string{
+	"/local/domain/1/name",
+	"/local/domain/1/device/vif/0/state",
+	"/local/domain/2/name",
+	"/local/domain/2/device/vif/0/state",
+	"/local/domain/2/device/vbd/0/state",
+	"/vm/a/uuid",
+	"/vm/b/uuid",
+	"/tool/generation",
+}
+
+func TestStoreAgreesWithModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s, _ := newStore()
+		s.LoggingEnabled = false
+		m := newModel()
+		for step, op := range ops {
+			path := modelPaths[int(op)%len(modelPaths)]
+			switch (op / 16) % 3 {
+			case 0: // write
+				val := fmt.Sprintf("v%d", step)
+				s.Write(path, val)
+				m.write(path, val)
+			case 1: // rm (of the leaf or one of its ancestors)
+				target := path
+				if op%2 == 0 {
+					// Remove an ancestor directory sometimes.
+					parts := strings.Split(strings.Trim(path, "/"), "/")
+					cut := 1 + int(op)%(len(parts)-1)
+					target = "/" + strings.Join(parts[:cut], "/")
+				}
+				gotErr := s.Rm(target) != nil
+				wantMissing := !m.rm(target)
+				// The store may retain empty directories after their
+				// leaves were removed, so it can succeed where the
+				// model says "missing". The reverse — an error where
+				// the model still has content — is a real bug.
+				if gotErr && !wantMissing {
+					t.Logf("step %d: rm(%s) errored but model has content", step, target)
+					return false
+				}
+			case 2: // read
+				got, err := s.Read(path)
+				want, ok := m.read(path)
+				if ok {
+					// Model leaf must exist with the same value…
+					if err != nil || got != want {
+						t.Logf("step %d: read(%s) = %q,%v want %q", step, path, got, err, want)
+						return false
+					}
+				} else if err == nil && got != "" {
+					// …absent model leaves may exist as empty
+					// directories in the store, but never with a value.
+					t.Logf("step %d: read(%s) = %q, model absent", step, path, got)
+					return false
+				}
+			}
+		}
+		// Directory listings agree wherever the model has content.
+		for _, dir := range []string{"/local/domain", "/vm", "/local/domain/2/device"} {
+			want := m.children(dir)
+			got, err := s.Directory(dir)
+			if err != nil {
+				if len(want) != 0 {
+					t.Logf("Directory(%s) missing, model has %v", dir, want)
+					return false
+				}
+				continue
+			}
+			// The store may hold extra empty dirs (from writes whose
+			// leaves were removed individually); every model child must
+			// be present.
+			set := map[string]bool{}
+			for _, g := range got {
+				set[g] = true
+			}
+			for _, w := range want {
+				if !set[w] {
+					t.Logf("Directory(%s) = %v, missing %q", dir, got, w)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

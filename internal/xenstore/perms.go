@@ -1,0 +1,116 @@
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Node access control, as real xenstored enforces it: every node has
+// an owning domain plus an access class for others. The toolstack
+// (Dom0) bypasses checks; guests may read shared control data but can
+// only write inside their own subtree. This is part of the isolation
+// story the paper leans on — a guest must not be able to tamper with
+// another guest's device negotiation.
+
+// Perm is a node's access class for non-owners.
+type Perm int
+
+// Access classes (xenstored's n/r/w/b).
+const (
+	// PermNone: only the owner (and Dom0) may read or write.
+	PermNone Perm = iota
+	// PermRead: others may read.
+	PermRead
+	// PermWrite: others may write (rare; e.g. shared request dirs).
+	PermWrite
+	// PermBoth: others may read and write.
+	PermBoth
+)
+
+func (p Perm) String() string {
+	switch p {
+	case PermRead:
+		return "r"
+	case PermWrite:
+		return "w"
+	case PermBoth:
+		return "b"
+	}
+	return "n"
+}
+
+// ErrPermission is returned when a guest violates a node ACL.
+var ErrPermission = errors.New("xenstore: permission denied")
+
+// SetPerm sets a node's owner and access class (toolstack operation).
+func (s *Store) SetPerm(path string, owner int, perm Perm) error {
+	n, touched, err := s.lookup(path)
+	s.chargeOp(touched)
+	if err != nil {
+		return err
+	}
+	n.owner = owner
+	n.perm = perm
+	return nil
+}
+
+// PermOf reports a node's owner and access class.
+func (s *Store) PermOf(path string) (owner int, perm Perm, err error) {
+	n, touched, err := s.lookup(path)
+	s.chargeOp(touched)
+	if err != nil {
+		return 0, PermNone, err
+	}
+	return n.owner, n.perm, nil
+}
+
+// guestDomainPrefix is the subtree a guest owns implicitly.
+func guestDomainPrefix(domid int) string {
+	return fmt.Sprintf("/local/domain/%d", domid)
+}
+
+// mayRead reports whether domid may read the node at path.
+func (s *Store) mayRead(domid int, path string, n *node) bool {
+	if domid == 0 || n.owner == domid {
+		return true
+	}
+	if strings.HasPrefix(normalize(path), guestDomainPrefix(domid)) {
+		return true
+	}
+	return n.perm == PermRead || n.perm == PermBoth
+}
+
+// mayWrite reports whether domid may write the node at path.
+func (s *Store) mayWrite(domid int, path string, n *node) bool {
+	if domid == 0 || (n != nil && n.owner == domid) {
+		return true
+	}
+	if strings.HasPrefix(normalize(path), guestDomainPrefix(domid)) {
+		return true
+	}
+	return n != nil && (n.perm == PermWrite || n.perm == PermBoth)
+}
+
+// GuestRead is a read issued by a guest domain, subject to ACLs.
+func (s *Store) GuestRead(domid int, path string) (string, error) {
+	n, touched, err := s.lookup(path)
+	s.chargeOp(touched)
+	if err != nil {
+		return "", err
+	}
+	if !s.mayRead(domid, path, n) {
+		return "", fmt.Errorf("%w: domain %d reading %s", ErrPermission, domid, path)
+	}
+	return n.value, nil
+}
+
+// GuestWrite is a quota- and ACL-checked write issued by a guest.
+func (s *Store) GuestWrite(domid int, path, value string) error {
+	n, _, _ := s.lookup(path)
+	if !s.mayWrite(domid, path, n) {
+		s.chargeOp(1)
+		return fmt.Errorf("%w: domain %d writing %s", ErrPermission, domid, path)
+	}
+	return s.WriteAsGuest(domid, path, value)
+}

@@ -1,0 +1,106 @@
+package xenstore
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGuestCannotReadForeignDomainPath(t *testing.T) {
+	s, _ := newStore()
+	s.Write("/local/domain/7/device/vif/0/mac", "aa:bb")
+	// Guest 7 reads its own subtree freely.
+	if _, err := s.GuestRead(7, "/local/domain/7/device/vif/0/mac"); err != nil {
+		t.Fatalf("own read denied: %v", err)
+	}
+	// Guest 8 may not.
+	if _, err := s.GuestRead(8, "/local/domain/7/device/vif/0/mac"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("foreign read: %v", err)
+	}
+	// Dom0 always may.
+	if _, err := s.GuestRead(0, "/local/domain/7/device/vif/0/mac"); err != nil {
+		t.Fatalf("dom0 read denied: %v", err)
+	}
+}
+
+func TestGuestWriteACL(t *testing.T) {
+	s, _ := newStore()
+	s.Write("/local/domain/5/data/x", "1")
+	if err := s.GuestWrite(5, "/local/domain/5/data/y", "2"); err != nil {
+		t.Fatalf("own write denied: %v", err)
+	}
+	if err := s.GuestWrite(6, "/local/domain/5/data/z", "3"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("foreign write: %v", err)
+	}
+	if s.Exists("/local/domain/5/data/z") {
+		t.Fatal("denied write landed")
+	}
+}
+
+func TestSharedNodePerms(t *testing.T) {
+	s, _ := newStore()
+	s.Write("/shared/clock", "tick")
+	if err := s.SetPerm("/shared/clock", 0, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GuestRead(9, "/shared/clock"); err != nil {
+		t.Fatalf("world-readable node denied: %v", err)
+	}
+	if err := s.GuestWrite(9, "/shared/clock", "tock"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("read-only node written: %v", err)
+	}
+	if err := s.SetPerm("/shared/clock", 0, PermBoth); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GuestWrite(9, "/shared/clock", "tock"); err != nil {
+		t.Fatalf("both-perm write denied: %v", err)
+	}
+	v, _ := s.Read("/shared/clock")
+	if v != "tock" {
+		t.Fatalf("value = %q", v)
+	}
+}
+
+func TestOwnerBypassesACL(t *testing.T) {
+	s, _ := newStore()
+	s.Write("/backend/vif/3/0/state", "4")
+	if err := s.SetPerm("/backend/vif/3/0/state", 3, PermNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GuestRead(3, "/backend/vif/3/0/state"); err != nil {
+		t.Fatalf("owner read denied: %v", err)
+	}
+	if err := s.GuestWrite(3, "/backend/vif/3/0/state", "5"); err != nil {
+		t.Fatalf("owner write denied: %v", err)
+	}
+	if _, err := s.GuestRead(4, "/backend/vif/3/0/state"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-owner read: %v", err)
+	}
+}
+
+func TestPermOfAndStrings(t *testing.T) {
+	s, _ := newStore()
+	s.Write("/p", "v")
+	_ = s.SetPerm("/p", 2, PermWrite)
+	owner, perm, err := s.PermOf("/p")
+	if err != nil || owner != 2 || perm != PermWrite {
+		t.Fatalf("PermOf = %d,%v,%v", owner, perm, err)
+	}
+	if _, _, err := s.PermOf("/missing"); err == nil {
+		t.Fatal("PermOf on missing node")
+	}
+	if err := s.SetPerm("/missing", 1, PermRead); err == nil {
+		t.Fatal("SetPerm on missing node")
+	}
+	for p, want := range map[Perm]string{PermNone: "n", PermRead: "r", PermWrite: "w", PermBoth: "b"} {
+		if p.String() != want {
+			t.Fatalf("Perm %d = %q", p, p.String())
+		}
+	}
+}
+
+func TestMissingNodeGuestRead(t *testing.T) {
+	s, _ := newStore()
+	if _, err := s.GuestRead(4, "/local/domain/4/absent"); !errors.Is(err, ErrNoEnt) {
+		t.Fatalf("missing own node: %v", err)
+	}
+}

@@ -1,0 +1,147 @@
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/sim"
+)
+
+// Implementation variants and per-domain quotas — two pieces of real
+// xenstored behaviour the paper leans on:
+//
+//   - Footnote 3: "this already uses oxenstored, the faster of the two
+//     available implementations of the XenStore. Results with
+//     cxenstored show much higher overheads." The C implementation
+//     processes requests more slowly and walks its connection list
+//     with worse constants.
+//   - xenstored enforces a per-domain node quota (default 1000 nodes)
+//     so one guest cannot fill the store — the DoS concern of §1
+//     applied to the control plane itself.
+
+// Variant selects the store daemon implementation.
+type Variant int
+
+// Store daemon implementations.
+const (
+	// Oxenstored is the OCaml daemon the paper benchmarks against.
+	Oxenstored Variant = iota
+	// Cxenstored is the C daemon with "much higher overheads".
+	Cxenstored
+)
+
+func (v Variant) String() string {
+	if v == Cxenstored {
+		return "cxenstored"
+	}
+	return "oxenstored"
+}
+
+// cxenstoredFactor multiplies the daemon-side processing and
+// connection-scan costs for the C implementation.
+const cxenstoredFactor = 3
+
+// ErrQuota is returned when a domain exceeds its node quota.
+var ErrQuota = errors.New("xenstore: domain node quota exceeded")
+
+// DefaultNodeQuota mirrors xenstored's quota-nb-entries default.
+const DefaultNodeQuota = 1000
+
+// SetVariant switches the daemon implementation (affects every
+// subsequent operation's cost).
+func (s *Store) SetVariant(v Variant) { s.variant = v }
+
+// VariantName reports the active implementation.
+func (s *Store) VariantName() string { return s.variant.String() }
+
+// variantFactor is the cost multiplier of the active implementation.
+func (s *Store) variantFactor() sim.Duration {
+	if s.variant == Cxenstored {
+		return cxenstoredFactor
+	}
+	return 1
+}
+
+// SetNodeQuota sets the per-domain node limit (0 disables checks).
+func (s *Store) SetNodeQuota(limit int) { s.nodeQuota = limit }
+
+// nodeCount tracks per-owner node counts for quota enforcement.
+func (s *Store) chargeQuota(owner int, delta int) error {
+	if s.ownerNodes == nil {
+		s.ownerNodes = make(map[int]int)
+	}
+	next := s.ownerNodes[owner] + delta
+	if owner != 0 && s.nodeQuota > 0 && next > s.nodeQuota {
+		return fmt.Errorf("%w: domain %d at %d nodes", ErrQuota, owner, s.ownerNodes[owner])
+	}
+	s.ownerNodes[owner] = next
+	if next <= 0 {
+		delete(s.ownerNodes, owner)
+	}
+	return nil
+}
+
+// OwnerNodes reports the node count charged to a domain.
+func (s *Store) OwnerNodes(owner int) int { return s.ownerNodes[owner] }
+
+// WriteAsGuest performs a guest-originated write: unlike Dom0's
+// toolstack writes, it is subject to the owner's node quota. It
+// returns ErrQuota without modifying the store when the quota would be
+// exceeded.
+func (s *Store) WriteAsGuest(owner int, path, value string) error {
+	// Count how many nodes the write would create.
+	created := s.missingNodes(path)
+	if created > 0 {
+		if err := s.chargeQuota(owner, created); err != nil {
+			s.chargeOp(1)
+			return err
+		}
+	}
+	s.WriteAs(owner, path, value)
+	return nil
+}
+
+// missingNodes reports how many path components do not yet exist.
+func (s *Store) missingNodes(path string) int {
+	parts := split(path)
+	n := s.root
+	missing := 0
+	for _, p := range parts {
+		if missing > 0 {
+			missing++
+			continue
+		}
+		child, ok := n.children[p]
+		if !ok {
+			missing = 1
+			continue
+		}
+		n = child
+	}
+	return missing
+}
+
+// RmOwned removes a path owned by a guest, returning quota.
+func (s *Store) RmOwned(owner int, path string) error {
+	n, _, err := s.lookup(path)
+	if err != nil {
+		s.chargeOp(1)
+		return err
+	}
+	removed := countNodes(n)
+	if err := s.Rm(path); err != nil {
+		return err
+	}
+	return s.chargeQuota(owner, -removed)
+}
+
+// variantExtra is folded into chargeOp: the C daemon pays the factor
+// on its processing plus a harsher connection scan.
+func (s *Store) variantExtra(base sim.Duration) sim.Duration {
+	if s.variant == Cxenstored {
+		return base*(cxenstoredFactor-1) +
+			sim.Duration(s.Connections)*costs.XSPerConnection*(cxenstoredFactor-1)
+	}
+	return 0
+}

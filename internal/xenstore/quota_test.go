@@ -1,0 +1,125 @@
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCxenstoredSlower(t *testing.T) {
+	// Footnote 3: "Results with cxenstored show much higher overheads."
+	elapsed := func(v Variant) int64 {
+		s, c := newStore()
+		s.SetVariant(v)
+		s.Connections = 200
+		for i := 0; i < 100; i++ {
+			s.Write(fmt.Sprintf("/local/domain/%d/name", i), "g")
+		}
+		return int64(c.Now())
+	}
+	ox := elapsed(Oxenstored)
+	cx := elapsed(Cxenstored)
+	if cx <= ox {
+		t.Fatalf("cxenstored (%d) not slower than oxenstored (%d)", cx, ox)
+	}
+	if float64(cx)/float64(ox) < 1.5 {
+		t.Fatalf("cxenstored only %.2f× slower", float64(cx)/float64(ox))
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	s, _ := newStore()
+	if s.VariantName() != "oxenstored" {
+		t.Fatalf("default variant %q", s.VariantName())
+	}
+	s.SetVariant(Cxenstored)
+	if s.VariantName() != "cxenstored" {
+		t.Fatalf("variant %q", s.VariantName())
+	}
+}
+
+func TestGuestNodeQuota(t *testing.T) {
+	s, _ := newStore()
+	s.SetNodeQuota(10)
+	// A guest can create up to its quota…
+	for i := 0; i < 10; i++ {
+		if err := s.WriteAsGuest(5, fmt.Sprintf("/local/domain/5/data/k%d", i), "v"); err != nil {
+			// Intermediate dirs count too; accept an early quota hit
+			// but require at least a few writes to land.
+			if i < 3 {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			break
+		}
+	}
+	// …and is eventually refused.
+	var quotaErr error
+	for i := 0; i < 20; i++ {
+		if err := s.WriteAsGuest(5, fmt.Sprintf("/local/domain/5/more/k%d", i), "v"); err != nil {
+			quotaErr = err
+			break
+		}
+	}
+	if !errors.Is(quotaErr, ErrQuota) {
+		t.Fatalf("quota never enforced: %v", quotaErr)
+	}
+	if s.OwnerNodes(5) > 10 {
+		t.Fatalf("owner holds %d nodes over quota", s.OwnerNodes(5))
+	}
+}
+
+func TestQuotaDoesNotBindDom0(t *testing.T) {
+	s, _ := newStore()
+	s.SetNodeQuota(5)
+	for i := 0; i < 50; i++ {
+		if err := s.WriteAsGuest(0, fmt.Sprintf("/toolstack/k%d", i), "v"); err != nil {
+			t.Fatalf("dom0 write refused: %v", err)
+		}
+	}
+}
+
+func TestQuotaReturnedOnRemove(t *testing.T) {
+	s, _ := newStore()
+	s.SetNodeQuota(8)
+	for i := 0; i < 6; i++ {
+		if err := s.WriteAsGuest(7, fmt.Sprintf("/d7/k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	held := s.OwnerNodes(7)
+	if held == 0 {
+		t.Fatal("no quota charged")
+	}
+	if err := s.RmOwned(7, "/d7"); err != nil {
+		t.Fatal(err)
+	}
+	if s.OwnerNodes(7) != 0 {
+		t.Fatalf("quota not returned: %d", s.OwnerNodes(7))
+	}
+	// Fresh writes fit again.
+	if err := s.WriteAsGuest(7, "/d7/new", "v"); err != nil {
+		t.Fatalf("write after cleanup: %v", err)
+	}
+}
+
+func TestQuotaRejectionLeavesStoreClean(t *testing.T) {
+	s, _ := newStore()
+	s.SetNodeQuota(2)
+	_ = s.WriteAsGuest(3, "/g3/a", "v") // uses 2 nodes (g3, a)
+	if err := s.WriteAsGuest(3, "/g3/b/c/d", "v"); !errors.Is(err, ErrQuota) {
+		t.Fatalf("expected quota error, got %v", err)
+	}
+	if s.Exists("/g3/b") {
+		t.Fatal("rejected write left partial nodes")
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	s, _ := newStore()
+	s.SetNodeQuota(0)
+	for i := 0; i < 2000; i++ {
+		if err := s.WriteAsGuest(9, fmt.Sprintf("/g9/k%d", i), "v"); err != nil {
+			t.Fatalf("write %d with quota disabled: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package xenstore implements the centralized registry that stock Xen
+// builds its control plane on (paper §4.1/§4.2) — the component
+// LightVM removes. It is a real hierarchical store: a tree of nodes
+// with values, per-node generation counters, prefix watches, and
+// transactions that fail and retry on conflict.
+//
+// Every operation charges the virtual clock the paper's message cost:
+// "each operation requires sending a message and receiving an
+// acknowledgment, each triggering a software interrupt: a single read
+// or write thus triggers at least two, and most often four, software
+// interrupts and multiple domain changes" (§4.2). On top of that, the
+// store charges for the nodes it actually touches (path resolution,
+// directory listing, commit validation, watch matching), which is what
+// makes creation cost grow with the number of guests, and it appends
+// to 20 access-log files that rotate every 13,215 lines — the spikes
+// in Fig. 5 and Fig. 9.
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/sim"
+)
+
+// Errors.
+var (
+	ErrNoEnt  = errors.New("xenstore: no such node")
+	ErrAgain  = errors.New("xenstore: transaction conflict, retry")
+	ErrBadTxn = errors.New("xenstore: no such transaction")
+	ErrExists = errors.New("xenstore: node exists")
+)
+
+// Counters aggregates store activity for tests and Fig. 5 attribution.
+type Counters struct {
+	Ops          uint64
+	SoftIRQs     uint64
+	Crossings    uint64
+	NodesTouched uint64
+	WatchFires   uint64
+	TxnStarts    uint64
+	TxnCommits   uint64
+	TxnConflicts uint64
+	LogLines     uint64
+	LogRotations uint64
+	UniqScans    uint64
+}
+
+type node struct {
+	name     string
+	value    string
+	children map[string]*node
+	gen      uint64 // bumped on any modification (incl. child add/rm)
+	owner    int    // domain that owns the node (permission model)
+	perm     Perm   // access class for non-owners
+}
+
+// Store is the oxenstored-equivalent.
+type Store struct {
+	clock *sim.Clock
+	root  *node
+	gen   uint64
+
+	watches   []*watch
+	nextWatch int
+
+	txns    map[TxnID]*txn
+	nextTxn TxnID
+
+	// Logging: one logical line counter stands in for the 20 files
+	// (they rotate together).
+	LoggingEnabled bool
+	logLines       int
+
+	// Connections is the number of open store connections (one per
+	// running guest with a xenbus ring, plus Dom0 daemons). The store
+	// daemon's event loop scans every connection per operation, so
+	// each op pays Connections × costs.XSPerConnection. The toolstack
+	// maintains this count as guests come and go.
+	Connections int
+
+	// variant selects oxenstored (default) or the slower cxenstored.
+	variant Variant
+	// nodeQuota is the per-domain node limit (see quota.go).
+	nodeQuota int
+	// ownerNodes tracks quota usage per owning domain.
+	ownerNodes map[int]int
+
+	Count Counters
+}
+
+// New creates an empty store on clock with access logging enabled
+// (the stock oxenstored configuration).
+func New(clock *sim.Clock) *Store {
+	return &Store{
+		clock:          clock,
+		root:           &node{name: "/", children: map[string]*node{}},
+		txns:           make(map[TxnID]*txn),
+		LoggingEnabled: true,
+		nodeQuota:      DefaultNodeQuota,
+		ownerNodes:     make(map[int]int),
+	}
+}
+
+// split turns "/a/b/c" into []{"a","b","c"}.
+func split(path string) []string {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil
+	}
+	return strings.Split(path, "/")
+}
+
+// chargeOp accounts one protocol round trip plus extra node touches.
+func (s *Store) chargeOp(nodesTouched int) {
+	s.Count.Ops++
+	s.Count.SoftIRQs += costs.XSRequestInterrupts
+	s.Count.Crossings += costs.XSRequestCrossings
+	s.Count.NodesTouched += uint64(nodesTouched)
+	d := costs.XSRequestInterrupts*costs.SoftIRQ +
+		costs.XSRequestCrossings*costs.DomainCrossing +
+		costs.XSProcess +
+		sim.Duration(nodesTouched)*costs.XSPerNodeTouch +
+		sim.Duration(s.Connections)*costs.XSPerConnection
+	d += s.variantExtra(costs.XSProcess + sim.Duration(nodesTouched)*costs.XSPerNodeTouch)
+	s.clock.Sleep(d)
+	s.logAccess()
+}
+
+// logAccess appends one line to each of the 20 access logs and rotates
+// them at the threshold, charging the rotation pause.
+func (s *Store) logAccess() {
+	if !s.LoggingEnabled {
+		return
+	}
+	s.logLines++
+	s.Count.LogLines += costs.XSLogFiles
+	s.clock.Sleep(costs.XSLogFiles * costs.XSLogLine)
+	if s.logLines >= costs.XSLogRotateLines {
+		s.logLines = 0
+		s.Count.LogRotations++
+		s.clock.Sleep(costs.XSLogRotateCost)
+	}
+}
+
+// lookup resolves a path, returning the node and the number of nodes
+// visited. Missing nodes return ErrNoEnt.
+func (s *Store) lookup(path string) (*node, int, error) {
+	parts := split(path)
+	n := s.root
+	touched := 1
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return nil, touched, fmt.Errorf("%w: %s", ErrNoEnt, path)
+		}
+		n = child
+		touched++
+	}
+	return n, touched, nil
+}
+
+// ensure creates intermediate directories and returns the leaf,
+// reporting nodes visited/created and whether the leaf was created.
+func (s *Store) ensure(path string, owner int) (*node, int, bool) {
+	parts := split(path)
+	n := s.root
+	touched := 1
+	created := false
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			child = &node{name: p, children: map[string]*node{}, owner: owner}
+			n.children[p] = child
+			s.gen++
+			n.gen = s.gen // directory modified
+			created = true
+		}
+		n = child
+		touched++
+	}
+	return n, touched, created
+}
+
+// Write sets path to value (creating intermediate directories),
+// firing matching watches.
+func (s *Store) Write(path, value string) {
+	s.WriteAs(0, path, value)
+}
+
+// WriteAs is Write with an owning domain for new nodes.
+func (s *Store) WriteAs(owner int, path, value string) {
+	n, touched, _ := s.ensure(path, owner)
+	n.value = value
+	s.gen++
+	n.gen = s.gen
+	s.chargeOp(touched + s.matchCost(path))
+	s.fireWatches(path)
+}
+
+// Read returns the value at path.
+func (s *Store) Read(path string) (string, error) {
+	n, touched, err := s.lookup(path)
+	s.chargeOp(touched)
+	if err != nil {
+		return "", err
+	}
+	return n.value, nil
+}
+
+// Exists reports whether path resolves.
+func (s *Store) Exists(path string) bool {
+	n, touched, err := s.lookup(path)
+	s.chargeOp(touched)
+	return err == nil && n != nil
+}
+
+// Mkdir creates a directory node.
+func (s *Store) Mkdir(path string) {
+	_, touched, created := s.ensure(path, 0)
+	if created {
+		s.chargeOp(touched + s.matchCost(path))
+		s.fireWatches(path)
+	} else {
+		s.chargeOp(touched)
+	}
+}
+
+// Directory lists the children of path in sorted order. Listing
+// touches every child — this is one of the O(#guests) costs on the
+// creation path when listing /local/domain.
+func (s *Store) Directory(path string) ([]string, error) {
+	n, touched, err := s.lookup(path)
+	if err != nil {
+		s.chargeOp(touched)
+		return nil, err
+	}
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	s.chargeOp(touched + len(n.children))
+	return out, nil
+}
+
+// Rm removes path and its subtree.
+func (s *Store) Rm(path string) error {
+	parts := split(path)
+	if len(parts) == 0 {
+		return errors.New("xenstore: cannot remove root")
+	}
+	parentPath := "/" + strings.Join(parts[:len(parts)-1], "/")
+	parent, touched, err := s.lookup(parentPath)
+	if err != nil {
+		s.chargeOp(touched)
+		return err
+	}
+	leaf := parts[len(parts)-1]
+	child, ok := parent.children[leaf]
+	if !ok {
+		s.chargeOp(touched)
+		return fmt.Errorf("%w: %s", ErrNoEnt, path)
+	}
+	sub := countNodes(child)
+	delete(parent.children, leaf)
+	s.gen++
+	parent.gen = s.gen
+	s.chargeOp(touched + sub + s.matchCost(path))
+	s.fireWatches(path)
+	return nil
+}
+
+func countNodes(n *node) int {
+	total := 1
+	for _, c := range n.children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// NumNodes reports the total node count (diagnostic; grows ~40 per
+// guest with the stock toolstack).
+func (s *Store) NumNodes() int { return countNodes(s.root) - 1 }
+
+// WriteUniqueName records a guest name under dir, performing the
+// uniqueness check the paper calls out: "the XenStore compares the new
+// entry against the names of all other already-running guests before
+// accepting the new guest's name" (§4.2). The scan happens inside the
+// store daemon (one protocol op from the client's perspective) but its
+// cost is linear in the number of registered guests — and the
+// comparisons are real.
+func (s *Store) WriteUniqueName(dir, key, name string) error {
+	s.Count.UniqScans++
+	n, _, err := s.lookup(dir)
+	if err == nil {
+		for _, child := range n.children {
+			s.clock.Sleep(costs.XSNameUniquenessPerGuest)
+			if child.value == name {
+				s.chargeOp(len(n.children))
+				return fmt.Errorf("%w: name %q", ErrExists, name)
+			}
+		}
+	}
+	s.WriteAs(0, dir+"/"+key, name)
+	return nil
+}

@@ -1,0 +1,221 @@
+package xenstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lightvm/internal/costs"
+)
+
+// TxnID identifies an open transaction.
+type TxnID uint64
+
+type txn struct {
+	id       TxnID
+	startGen uint64
+	readGens map[string]uint64  // path → generation observed (0 = absent)
+	writes   map[string]*string // path → value; nil means delete
+	order    []string           // write application order
+}
+
+// Tx is the client handle for operations inside a transaction.
+// Reads observe committed state (plus the transaction's own writes);
+// writes are buffered until Commit. Any node observed or written that
+// another committer modifies in the meantime aborts the commit with
+// ErrAgain — exactly the overlap failure mode the paper blames for
+// XenStore slowdowns under load (§4.2).
+type Tx struct {
+	s *Store
+	t *txn
+}
+
+// TxnStart opens a transaction.
+func (s *Store) TxnStart() *Tx {
+	s.nextTxn++
+	t := &txn{
+		id:       s.nextTxn,
+		startGen: s.gen,
+		readGens: make(map[string]uint64),
+		writes:   make(map[string]*string),
+	}
+	s.txns[t.id] = t
+	s.Count.TxnStarts++
+	s.chargeOp(1)
+	return &Tx{s: s, t: t}
+}
+
+// observe records the generation of path at read time.
+func (tx *Tx) observe(path string) {
+	p := normalize(path)
+	if _, ok := tx.t.readGens[p]; ok {
+		return
+	}
+	n, _, err := tx.s.lookup(p)
+	if err != nil {
+		tx.t.readGens[p] = 0
+		return
+	}
+	tx.t.readGens[p] = n.gen
+}
+
+// Read returns the value at path as seen by the transaction.
+func (tx *Tx) Read(path string) (string, error) {
+	p := normalize(path)
+	if v, ok := tx.t.writes[p]; ok {
+		tx.s.chargeOp(1)
+		if v == nil {
+			return "", fmt.Errorf("%w: %s", ErrNoEnt, path)
+		}
+		return *v, nil
+	}
+	tx.observe(p)
+	return tx.s.Read(p)
+}
+
+// Exists reports whether path resolves within the transaction.
+func (tx *Tx) Exists(path string) bool {
+	p := normalize(path)
+	if v, ok := tx.t.writes[p]; ok {
+		tx.s.chargeOp(1)
+		return v != nil
+	}
+	tx.observe(p)
+	return tx.s.Exists(p)
+}
+
+// Directory lists children of path (committed view merged with the
+// transaction's own writes directly beneath path).
+func (tx *Tx) Directory(path string) ([]string, error) {
+	p := normalize(path)
+	tx.observe(p)
+	names, err := tx.s.Directory(p)
+	if err != nil && len(tx.t.writes) == 0 {
+		return nil, err
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	for wp, v := range tx.t.writes {
+		if !strings.HasPrefix(wp, p+"/") {
+			continue
+		}
+		rest := strings.TrimPrefix(wp, p+"/")
+		first := strings.SplitN(rest, "/", 2)[0]
+		if v == nil && rest == first {
+			delete(set, first)
+		} else if v != nil {
+			set[first] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Write buffers a write.
+func (tx *Tx) Write(path, value string) {
+	p := normalize(path)
+	if _, ok := tx.t.writes[p]; !ok {
+		tx.t.order = append(tx.t.order, p)
+	}
+	v := value
+	tx.t.writes[p] = &v
+	tx.s.chargeOp(1)
+}
+
+// Rm buffers a delete.
+func (tx *Tx) Rm(path string) {
+	p := normalize(path)
+	if _, ok := tx.t.writes[p]; !ok {
+		tx.t.order = append(tx.t.order, p)
+	}
+	tx.t.writes[p] = nil
+	tx.s.chargeOp(1)
+}
+
+// Abort discards the transaction.
+func (tx *Tx) Abort() {
+	delete(tx.s.txns, tx.t.id)
+	tx.s.chargeOp(1)
+}
+
+// Commit validates and applies the transaction. It returns ErrAgain
+// if any observed or written node changed since it was accessed;
+// callers re-run their transaction body (see Store.Txn).
+func (tx *Tx) Commit() error {
+	s := tx.s
+	t := tx.t
+	if _, ok := s.txns[t.id]; !ok {
+		return ErrBadTxn
+	}
+	// Validation: every read must still be at the observed generation,
+	// and every written path must not have been modified since start.
+	touched := 0
+	conflict := false
+	for p, g := range t.readGens {
+		touched++
+		n, _, err := s.lookup(p)
+		switch {
+		case err != nil && g != 0:
+			conflict = true // node vanished
+		case err == nil && n.gen != g:
+			conflict = true // node changed (or appeared: g==0)
+		}
+		if conflict {
+			break
+		}
+	}
+	if !conflict {
+		for p := range t.writes {
+			touched++
+			if n, _, err := s.lookup(p); err == nil && n.gen > t.startGen {
+				conflict = true
+				break
+			}
+		}
+	}
+	s.chargeOp(touched + 1)
+	if conflict {
+		s.Count.TxnConflicts++
+		delete(s.txns, t.id)
+		return ErrAgain
+	}
+	// Apply in order; watches fire per write, as on a real commit.
+	for _, p := range t.order {
+		v := t.writes[p]
+		if v == nil {
+			_ = s.Rm(p)
+		} else {
+			s.WriteAs(0, p, *v)
+		}
+	}
+	s.Count.TxnCommits++
+	delete(s.txns, t.id)
+	return nil
+}
+
+// Txn runs body in a transaction, retrying on ErrAgain up to
+// maxRetries times. Each retry charges the paper's retry penalty and
+// re-executes body against fresh state.
+func (s *Store) Txn(maxRetries int, body func(tx *Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := s.TxnStart()
+		if err := body(tx); err != nil {
+			tx.Abort()
+			return err
+		}
+		err := tx.Commit()
+		if err == nil {
+			return nil
+		}
+		if err != ErrAgain || attempt >= maxRetries {
+			return err
+		}
+		s.clock.Sleep(costs.XSTxnRetry)
+	}
+}
