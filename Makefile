@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test verify race bench bench-smoke clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 gate: build + vet + full tests, then the race detector over
+# the packages the parallel engine touches.
+verify: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/experiments ./internal/xenstore ./internal/sim
+
+race:
+	$(GO) test -race ./...
+
+# Full-scale replay of every figure with a JSON timing report.
+bench:
+	$(GO) run ./cmd/lightvm-bench -exp all -parallel 0 -json
+
+# Quick end-to-end pass at 5% scale — exercises every generator, the
+# worker pool and the JSON report in a few seconds.
+bench-smoke:
+	$(GO) run ./cmd/lightvm-bench -exp all -scale 0.05 -parallel 0 -json
+
+clean:
+	rm -f BENCH_*.json

@@ -4,14 +4,19 @@
 //
 //	lightvm-bench -exp fig09            # one figure at paper scale
 //	lightvm-bench -exp all -scale 0.1   # everything, 10% guest counts
+//	lightvm-bench -exp all -parallel 1  # force a sequential replay
+//	lightvm-bench -exp all -json        # also write BENCH_<date>.json
 //	lightvm-bench -list
 //
 // Each figure prints as a fixed-width table with the paper's series as
 // columns, followed by calibration notes. Figure numbers follow the
-// paper (fig01..fig18 plus tbl-guests).
+// paper (fig01..fig18 plus tbl-guests). Figures run on a bounded
+// worker pool (-parallel; 0 = one worker per core) and print in a
+// fixed order, byte-identical to a sequential run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,12 +25,32 @@ import (
 	"lightvm"
 )
 
+// benchFigure is one figure's timing record in the -json report.
+type benchFigure struct {
+	ID        string  `json:"id"`
+	WallMS    float64 `json:"wall_ms"`
+	Allocs    uint64  `json:"allocs"`
+	VirtualMS float64 `json:"virtual_ms"`
+}
+
+// benchReport is the -json output schema.
+type benchReport struct {
+	Date        string        `json:"date"`
+	Scale       float64       `json:"scale"`
+	Seed        uint64        `json:"seed"`
+	Parallel    int           `json:"parallel"`
+	TotalWallMS float64       `json:"total_wall_ms"`
+	Figures     []benchFigure `json:"figures"`
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (figNN, tbl-guests) or 'all'")
 	scale := flag.Float64("scale", 1.0, "guest-count scale relative to the paper (1.0 = full)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	parallel := flag.Int("parallel", 0, "worker-pool size (0 = one per core, 1 = sequential)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	plot := flag.Bool("plot", false, "render each figure as an ASCII chart too")
+	jsonOut := flag.Bool("json", false, "write per-figure timings to BENCH_<date>.json")
 	flag.Parse()
 
 	if *list {
@@ -39,18 +64,46 @@ func main() {
 	if *exp == "all" {
 		ids = lightvm.Experiments()
 	}
-	for _, id := range ids {
-		start := time.Now()
-		res, err := lightvm.RunExperiment(id, *scale, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lightvm-bench: %s: %v\n", id, err)
-			os.Exit(1)
-		}
+	start := time.Now()
+	results, err := lightvm.RunExperiments(ids, *scale, *seed, *parallel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lightvm-bench: %v\n", err)
+		os.Exit(1)
+	}
+	total := time.Since(start)
+	for _, res := range results {
 		fmt.Printf("%s", res.Output)
 		if *plot && res.Plot != "" {
 			fmt.Println(res.Plot)
 		}
 		fmt.Printf("paper: %s\n", res.Paper)
-		fmt.Printf("(generated in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(generated in %v wall time)\n\n", time.Duration(res.WallMS*1e6).Round(time.Millisecond))
+	}
+	fmt.Printf("total: %d figure(s) in %v wall time\n", len(results), total.Round(time.Millisecond))
+
+	if *jsonOut {
+		report := benchReport{
+			Date:        time.Now().Format("2006-01-02"),
+			Scale:       *scale,
+			Seed:        *seed,
+			Parallel:    *parallel,
+			TotalWallMS: float64(total) / 1e6,
+		}
+		for _, res := range results {
+			report.Figures = append(report.Figures, benchFigure{
+				ID: res.ID, WallMS: res.WallMS, Allocs: res.Allocs, VirtualMS: res.VirtualMS,
+			})
+		}
+		name := fmt.Sprintf("BENCH_%s.json", report.Date)
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lightvm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(name, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lightvm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", name)
 	}
 }

@@ -7,8 +7,13 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"time"
 )
+
+// defaultSamples is the x-axis measurement-point default.
+const defaultSamples = 20
 
 // Options scales an experiment run.
 type Options struct {
@@ -21,6 +26,13 @@ type Options struct {
 	// Samples is the number of measurement points along the x axis
 	// (0 = default 20).
 	Samples int
+	// Parallel bounds the worker pool used by RunMany and by the
+	// per-figure series pool (a figure's independent hosts/timelines
+	// run concurrently). 0 means GOMAXPROCS; 1 forces fully
+	// sequential execution. Results are identical either way: every
+	// series owns its clock, host and RNG, and output assembly is
+	// deterministic.
+	Parallel int
 }
 
 // normalize applies defaults.
@@ -32,9 +44,17 @@ func (o Options) normalize() Options {
 		o.Seed = 1
 	}
 	if o.Samples <= 0 {
-		o.Samples = 20
+		o.Samples = defaultSamples
 	}
 	return o
+}
+
+// workers resolves Parallel to a concrete pool size.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // scaled returns max(lo, round(n×Scale)).
@@ -46,21 +66,32 @@ func (o Options) scaled(n int, lo int) int {
 	return v
 }
 
-// samplePoints returns ~Samples x-axis counts from 1..n inclusive.
+// samplePoints returns ~Samples x-axis counts from 1..n inclusive,
+// ending exactly at n with no duplicate final point. It is safe on
+// un-normalized options (Samples ≤ 0 falls back to the default) and on
+// degenerate n (n ≤ 0 yields no points), so small scales interacting
+// with large Samples cannot panic or repeat n.
 func (o Options) samplePoints(n int) []int {
-	if n <= o.Samples {
+	if n <= 0 {
+		return nil
+	}
+	samples := o.Samples
+	if samples <= 0 {
+		samples = defaultSamples
+	}
+	if n <= samples {
 		out := make([]int, n)
 		for i := range out {
 			out[i] = i + 1
 		}
 		return out
 	}
-	step := n / o.Samples
-	var out []int
+	step := n / samples // ≥ 1 because n > samples
+	out := make([]int, 0, samples+1)
 	for v := step; v <= n; v += step {
 		out = append(out, v)
 	}
-	if out[len(out)-1] != n {
+	if len(out) == 0 || out[len(out)-1] != n {
 		out = append(out, n)
 	}
 	return out
@@ -74,6 +105,18 @@ type Result struct {
 	ID    string
 	Paper string // what the paper reports, for EXPERIMENTS.md
 	Table fmt.Stringer
+
+	// VirtualMS is the figure's simulated makespan in milliseconds:
+	// the largest final clock reading across the independent timelines
+	// the generator built. Generators that track it set it; 0 means
+	// not instrumented.
+	VirtualMS float64
+	// Wall is the real time the generator took (set by RunMany/RunAll).
+	Wall time.Duration
+	// Allocs is the number of heap allocations the generator performed.
+	// Only meaningful on sequential runs (Parallel == 1): Go exposes no
+	// per-goroutine allocation counter, so parallel runs report 0.
+	Allocs uint64
 }
 
 // registry of all experiments.

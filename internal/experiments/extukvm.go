@@ -29,17 +29,17 @@ func extUkvm(o Options) (Result, error) {
 	}
 	img := guest.Daytime()
 
-	sweep := func(useUkvm bool) (map[int]float64, error) {
+	sweep := func(useUkvm bool) (map[int]float64, float64, error) {
 		h, err := core.NewHost(sched.Xeon4, o.Seed)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		var drv toolstack.Driver
 		if useUkvm {
 			drv = toolstack.NewUkvm(h.Env)
 		} else {
 			if err := h.EnsureFlavor(img, toolstack.ModeLightVM); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			drv = h.Driver(toolstack.ModeLightVM)
 		}
@@ -47,27 +47,32 @@ func extUkvm(o Options) (Result, error) {
 		for i := 1; i <= n; i++ {
 			if !useUkvm {
 				if err := h.Replenish(); err != nil {
-					return nil, err
+					return nil, 0, err
 				}
 			}
 			vm, err := drv.Create(fmt.Sprintf("g%d", i), img)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if wanted[i] {
 				out[i] = float64(vm.CreateTime+vm.BootTime) / float64(time.Millisecond)
 			}
 		}
-		return out, nil
+		return out, h.Clock.Now().Milliseconds(), nil
 	}
-	ukvm, err := sweep(true)
+	// Both monitors sweep on independent hosts — run the pair in
+	// parallel.
+	cols := make([]map[int]float64, 2)
+	virtMS := make([]float64, 2)
+	err := o.runSeries(2, func(i int) error {
+		m, v, err := sweep(i == 0)
+		cols[i], virtMS[i] = m, v
+		return err
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	lightvm, err := sweep(false)
-	if err != nil {
-		return Result{}, err
-	}
+	ukvm, lightvm := cols[0], cols[1]
 	t := metrics.NewTable("Extension: ukvm-style monitor vs LightVM (daytime unikernel)",
 		"n", "ukvm_ms", "lightvm_ms")
 	for _, p := range points {
@@ -75,5 +80,5 @@ func extUkvm(o Options) (Result, error) {
 	}
 	t.Note("§9: 'ukvm implements a specialized unikernel monitor on top of KVM ... to achieve 10 ms boot times'")
 	t.Note("both scale flat (no store); ukvm pays a per-boot monitor fork/exec that the split toolstack amortizes away")
-	return Result{ID: "ext-ukvm", Paper: "§9: ukvm ≈10ms boots; LightVM still faster via the prepare phase", Table: t}, nil
+	return Result{ID: "ext-ukvm", Paper: "§9: ukvm ≈10ms boots; LightVM still faster via the prepare phase", Table: t, VirtualMS: maxOf(virtMS)}, nil
 }

@@ -24,14 +24,15 @@ var allModes = []toolstack.Mode{
 }
 
 // runCreationSweep boots n guests of img under mode on machine and
-// returns total create+boot time (ms) at the sampled counts.
-func runCreationSweep(machine sched.Machine, mode toolstack.Mode, img guest.Image, n int, wanted map[int]bool, seed uint64) (map[int]float64, error) {
+// returns total create+boot time (ms) at the sampled counts, plus the
+// sweep's final virtual time (ms).
+func runCreationSweep(machine sched.Machine, mode toolstack.Mode, img guest.Image, n int, wanted map[int]bool, seed uint64) (map[int]float64, float64, error) {
 	h, err := core.NewHost(machine, seed)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := h.EnsureFlavor(img, mode); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	drv := h.Driver(mode)
 	out := make(map[int]float64)
@@ -39,18 +40,18 @@ func runCreationSweep(machine sched.Machine, mode toolstack.Mode, img guest.Imag
 		if mode.UsesSplit() {
 			// The chaos daemon replenishes between creations.
 			if err := h.Replenish(); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 		vm, err := drv.Create(fmt.Sprintf("g%d", i), img)
 		if err != nil {
-			return nil, fmt.Errorf("%s #%d: %w", mode, i, err)
+			return nil, 0, fmt.Errorf("%s #%d: %w", mode, i, err)
 		}
 		if wanted[i] {
 			out[i] = float64(vm.CreateTime+vm.BootTime) / float64(time.Millisecond)
 		}
 	}
-	return out, nil
+	return out, h.Clock.Now().Milliseconds(), nil
 }
 
 // fig09 — daytime-unikernel creation times for all five toolstack
@@ -66,18 +67,25 @@ func fig09(o Options) (Result, error) {
 		"n", "xl_ms", "chaos_xs_ms", "chaos_split_ms", "chaos_noxs_ms", "lightvm_ms")
 	img := guest.Daytime()
 	cols := make([]map[int]float64, len(allModes))
-	for i, mode := range allModes {
-		vals, err := runCreationSweep(sched.Xeon4, mode, img, n, wanted, o.Seed)
+	virtMS := make([]float64, len(allModes))
+	// The five toolstack configurations each sweep on their own host
+	// and clock — run them as parallel series.
+	err := o.runSeries(len(allModes), func(i int) error {
+		vals, virt, err := runCreationSweep(sched.Xeon4, allModes[i], img, n, wanted, o.Seed)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		cols[i] = vals
+		cols[i], virtMS[i] = vals, virt
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	for _, p := range points {
 		t.AddRow(float64(p), cols[0][p], cols[1][p], cols[2][p], cols[3][p], cols[4][p])
 	}
 	t.Note("paper: xl ~100ms→~1s; chaos[XS] 15→80ms; +split max ~25ms; noxs 8→15ms; LightVM 4→4.1ms")
-	return Result{ID: "fig09", Paper: "LightVM flat at ~4ms; xl grows toward 1s at 1000 guests", Table: t}, nil
+	return Result{ID: "fig09", Paper: "LightVM flat at ~4ms; xl grows toward 1s at 1000 guests", Table: t, VirtualMS: maxOf(virtMS)}, nil
 }
 
 // fig10 — LightVM (noop unikernel) vs Docker on the 64-core AMD
@@ -90,26 +98,36 @@ func fig10(o Options) (Result, error) {
 		wanted[p] = true
 	}
 	img := guest.Noop()
-	lightvm, err := runCreationSweep(sched.Amd64, toolstack.ModeLightVM, img, n, wanted, o.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	// Docker on the same box until the memory wall.
-	h, err := core.NewHost(sched.Amd64, o.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	docker := make(map[int]float64)
+	var lightvm, docker map[int]float64
+	virtMS := make([]float64, 2)
 	dockerWall := 0
-	for i := 1; i <= n; i++ {
-		c, err := h.Docker.Run("noop")
+	err := o.runSeries(2, func(j int) error {
+		if j == 0 {
+			var err error
+			lightvm, virtMS[0], err = runCreationSweep(sched.Amd64, toolstack.ModeLightVM, img, n, wanted, o.Seed)
+			return err
+		}
+		// Docker on the same kind of box until the memory wall.
+		h, err := core.NewHost(sched.Amd64, o.Seed)
 		if err != nil {
-			dockerWall = i
-			break
+			return err
 		}
-		if wanted[i] {
-			docker[i] = float64(c.StartTime) / float64(time.Millisecond)
+		docker = make(map[int]float64)
+		for i := 1; i <= n; i++ {
+			c, err := h.Docker.Run("noop")
+			if err != nil {
+				dockerWall = i
+				break
+			}
+			if wanted[i] {
+				docker[i] = float64(c.StartTime) / float64(time.Millisecond)
+			}
 		}
+		virtMS[1] = h.Clock.Now().Milliseconds()
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	t := metrics.NewTable("Figure 10: LightVM vs Docker boot times to 8000 guests (64-core AMD)",
 		"n", "lightvm_ms", "docker_ms")
@@ -124,7 +142,7 @@ func fig10(o Options) (Result, error) {
 		t.Note("docker hit the memory wall at %d containers (-1 = beyond the wall); paper stops at ~3000", dockerWall)
 	}
 	t.Note("paper: LightVM scales to 8000; Docker starts ~150ms and ramps toward 1s by 3000 with memory-spike steps")
-	return Result{ID: "fig10", Paper: "8000 LightVM guests; Docker collapses around 3000", Table: t}, nil
+	return Result{ID: "fig10", Paper: "8000 LightVM guests; Docker collapses around 3000", Table: t, VirtualMS: maxOf(virtMS)}, nil
 }
 
 // fig11 — boot times for unikernel and Tinyx guests (over LightVM)
@@ -136,53 +154,38 @@ func fig11(o Options) (Result, error) {
 	for _, p := range points {
 		wanted[p] = true
 	}
-	bootOnly := func(mode toolstack.Mode, img guest.Image) (map[int]float64, error) {
+	var uni, tinyx, docker map[int]float64
+	virtMS := make([]float64, 3)
+	err := o.runSeries(3, func(j int) error {
+		switch j {
+		case 0:
+			var err error
+			uni, virtMS[0], err = runCreationSweep(sched.Xeon4, toolstack.ModeLightVM, guest.Daytime(), n, wanted, o.Seed)
+			return err
+		case 1:
+			var err error
+			tinyx, virtMS[1], err = runCreationSweep(sched.Xeon4, toolstack.ModeLightVM, guest.TinyxNoop(), n, wanted, o.Seed)
+			return err
+		}
 		h, err := core.NewHost(sched.Xeon4, o.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if err := h.EnsureFlavor(img, mode); err != nil {
-			return nil, err
-		}
-		drv := h.Driver(mode)
-		out := make(map[int]float64)
+		docker = make(map[int]float64)
 		for i := 1; i <= n; i++ {
-			if mode.UsesSplit() {
-				if err := h.Replenish(); err != nil {
-					return nil, err
-				}
-			}
-			vm, err := drv.Create(fmt.Sprintf("g%d", i), img)
+			c, err := h.Docker.Run("noop")
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if wanted[i] {
-				out[i] = float64(vm.CreateTime+vm.BootTime) / float64(time.Millisecond)
+				docker[i] = float64(c.StartTime) / float64(time.Millisecond)
 			}
 		}
-		return out, nil
-	}
-	uni, err := bootOnly(toolstack.ModeLightVM, guest.Daytime())
+		virtMS[2] = h.Clock.Now().Milliseconds()
+		return nil
+	})
 	if err != nil {
 		return Result{}, err
-	}
-	tinyx, err := bootOnly(toolstack.ModeLightVM, guest.TinyxNoop())
-	if err != nil {
-		return Result{}, err
-	}
-	h, err := core.NewHost(sched.Xeon4, o.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	docker := make(map[int]float64)
-	for i := 1; i <= n; i++ {
-		c, err := h.Docker.Run("noop")
-		if err != nil {
-			return Result{}, err
-		}
-		if wanted[i] {
-			docker[i] = float64(c.StartTime) / float64(time.Millisecond)
-		}
 	}
 	t := metrics.NewTable("Figure 11: boot times — unikernel vs Tinyx (over LightVM) vs Docker",
 		"n", "tinyx_ms", "docker_ms", "unikernel_ms")
@@ -190,5 +193,5 @@ func fig11(o Options) (Result, error) {
 		t.AddRow(float64(p), tinyx[p], docker[p], uni[p])
 	}
 	t.Note("paper: tinyx tracks docker up to ~750 guests, then idle-guest background tasks dilate its boots; unikernel stays flat")
-	return Result{ID: "fig11", Paper: "Tinyx ≈ Docker to ~750 guests; unikernel flat and lowest", Table: t}, nil
+	return Result{ID: "fig11", Paper: "Tinyx ≈ Docker to ~750 guests; unikernel flat and lowest", Table: t, VirtualMS: maxOf(virtMS)}, nil
 }

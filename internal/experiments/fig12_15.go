@@ -95,16 +95,21 @@ func fig12(o Options, which string) (Result, error) {
 	}
 	t := metrics.NewTable(title, "n", "xl_ms", "chaos_xs_ms", "lightvm_ms")
 	cols := make([]map[int]float64, len(ckptModes))
-	for i, m := range ckptModes {
-		s, r, err := checkpointSweep(m.mode, n, points, o.Seed)
+	// One independent host+clock per toolstack configuration.
+	err := o.runSeries(len(ckptModes), func(i int) error {
+		s, r, err := checkpointSweep(ckptModes[i].mode, n, points, o.Seed)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 		if which == "save" {
 			cols[i] = s
 		} else {
 			cols[i] = r
 		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	for _, p := range points {
 		t.AddRow(float64(p), cols[0][p], cols[1][p], cols[2][p])
@@ -130,17 +135,20 @@ func fig13(o Options) (Result, error) {
 	t := metrics.NewTable("Figure 13: migration times (daytime unikernel)",
 		"n", "xl_ms", "chaos_xs_ms", "lightvm_ms")
 	cols := make([]map[int]float64, len(ckptModes))
-	for i, m := range ckptModes {
+	virtMS := make([]float64, len(ckptModes))
+	// Each driver pair (src+dst hosts on a shared clock) is an isolated
+	// timeline — sweep the toolstacks in parallel.
+	err := o.runSeries(len(ckptModes), func(i int) error {
 		clock := sim.NewClock()
 		src, err := core.NewHostOn(clock, sched.Xeon4Ckpt, o.Seed)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
 		dst, err := core.NewHostOn(clock, sched.Machine{Name: "dst", Cores: 4, Dom0Cores: 2, MemoryGB: 512}, o.Seed+1)
 		if err != nil {
-			return Result{}, err
+			return err
 		}
-		drv := src.Driver(m.mode)
+		drv := src.Driver(ckptModes[i].mode)
 		rng := sim.NewRNG(o.Seed + uint64(i))
 		img := guest.Daytime()
 		vals := map[int]float64{}
@@ -149,7 +157,7 @@ func fig13(o Options) (Result, error) {
 			for running < p {
 				nextID++
 				if _, err := drv.Create(fmt.Sprintf("g%d", nextID), img); err != nil {
-					return Result{}, err
+					return err
 				}
 				running++
 			}
@@ -164,7 +172,7 @@ func fig13(o Options) (Result, error) {
 				}
 				_, d, err := src.MigrateTo(dst, vm)
 				if err != nil {
-					return Result{}, err
+					return err
 				}
 				sum += d
 				migrated++
@@ -173,7 +181,7 @@ func fig13(o Options) (Result, error) {
 				// paper's procedure).
 				migID++
 				if _, err := drv.Create(fmt.Sprintf("r%d-%d", i, migID), img); err != nil {
-					return Result{}, err
+					return err
 				}
 				running++
 			}
@@ -182,12 +190,17 @@ func fig13(o Options) (Result, error) {
 			}
 		}
 		cols[i] = vals
+		virtMS[i] = clock.Now().Milliseconds()
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	for _, p := range points {
 		t.AddRow(float64(p), cols[0][p], cols[1][p], cols[2][p])
 	}
 	t.Note("paper: LightVM ~60ms flat; chaos[XS] slightly faster at low N (noxs device destruction unoptimized); xl grows with N")
-	return Result{ID: "fig13", Paper: "LightVM migrates in ~60ms regardless of N", Table: t}, nil
+	return Result{ID: "fig13", Paper: "LightVM migrates in ~60ms regardless of N", Table: t, VirtualMS: maxOf(virtMS)}, nil
 }
 
 // fig14 — memory usage vs number of guests for Debian, Tinyx,
@@ -200,74 +213,92 @@ func fig14(o Options) (Result, error) {
 		wanted[p] = true
 	}
 	big := sched.Machine{Name: "mem-host", Cores: 4, Dom0Cores: 1, MemoryGB: 160}
-	vmSweep := func(img guest.Image) (map[int]float64, error) {
+	vmSweep := func(img guest.Image) (map[int]float64, float64, error) {
 		h, err := core.NewHost(big, o.Seed)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		base := h.MemoryUsedBytes()
 		drv := h.Driver(toolstack.ModeChaosNoXS)
 		out := map[int]float64{}
 		for i := 1; i <= n; i++ {
 			if _, err := drv.Create(fmt.Sprintf("g%d", i), img); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if wanted[i] {
 				out[i] = float64(h.MemoryUsedBytes()-base) / (1 << 20)
 			}
 		}
-		return out, nil
+		return out, h.Clock.Now().Milliseconds(), nil
 	}
-	debian, err := vmSweep(guest.DebianMicropython())
-	if err != nil {
-		return Result{}, err
-	}
-	tinyx, err := vmSweep(guest.TinyxMicropython())
-	if err != nil {
-		return Result{}, err
-	}
-	minipy, err := vmSweep(guest.Minipython())
-	if err != nil {
-		return Result{}, err
-	}
-	// Docker/Micropython.
-	h, err := core.NewHost(big, o.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	base := h.MemoryUsedBytes()
-	docker := map[int]float64{}
-	for i := 1; i <= n; i++ {
-		if _, err := h.Docker.Run("micropython"); err != nil {
-			return Result{}, err
+	// Five independent hosts: three VM flavors, Docker, and raw
+	// processes.
+	cols := make([]map[int]float64, 5)
+	virtMS := make([]float64, 5)
+	err := o.runSeries(5, func(j int) error {
+		switch j {
+		case 0:
+			m, v, err := vmSweep(guest.DebianMicropython())
+			cols[j], virtMS[j] = m, v
+			return err
+		case 1:
+			m, v, err := vmSweep(guest.TinyxMicropython())
+			cols[j], virtMS[j] = m, v
+			return err
+		case 2:
+			m, v, err := vmSweep(guest.Minipython())
+			cols[j], virtMS[j] = m, v
+			return err
+		case 3:
+			// Docker/Micropython.
+			h, err := core.NewHost(big, o.Seed)
+			if err != nil {
+				return err
+			}
+			base := h.MemoryUsedBytes()
+			docker := map[int]float64{}
+			for i := 1; i <= n; i++ {
+				if _, err := h.Docker.Run("micropython"); err != nil {
+					return err
+				}
+				if wanted[i] {
+					docker[i] = float64(h.MemoryUsedBytes()-base) / (1 << 20)
+				}
+			}
+			cols[j], virtMS[j] = docker, h.Clock.Now().Milliseconds()
+			return nil
+		default:
+			// Micropython processes.
+			h, err := core.NewHost(big, o.Seed)
+			if err != nil {
+				return err
+			}
+			base := h.MemoryUsedBytes()
+			procs := map[int]float64{}
+			perProc := uint64(container.ProcessMicropyBytes())
+			for i := 1; i <= n; i++ {
+				if _, err := h.Procs.Spawn(perProc); err != nil {
+					return err
+				}
+				if wanted[i] {
+					procs[i] = float64(h.MemoryUsedBytes()-base) / (1 << 20)
+				}
+			}
+			cols[j], virtMS[j] = procs, h.Clock.Now().Milliseconds()
+			return nil
 		}
-		if wanted[i] {
-			docker[i] = float64(h.MemoryUsedBytes()-base) / (1 << 20)
-		}
-	}
-	// Micropython processes.
-	h2, err := core.NewHost(big, o.Seed)
+	})
 	if err != nil {
 		return Result{}, err
 	}
-	base2 := h2.MemoryUsedBytes()
-	procs := map[int]float64{}
-	perProc := uint64(container.ProcessMicropyBytes())
-	for i := 1; i <= n; i++ {
-		if _, err := h2.Procs.Spawn(perProc); err != nil {
-			return Result{}, err
-		}
-		if wanted[i] {
-			procs[i] = float64(h2.MemoryUsedBytes()-base2) / (1 << 20)
-		}
-	}
+	debian, tinyx, minipy, docker, procs := cols[0], cols[1], cols[2], cols[3], cols[4]
 	t := metrics.NewTable("Figure 14: memory usage vs number of instances (MB)",
 		"n", "debian_mb", "tinyx_mb", "docker_mb", "minipython_mb", "process_mb")
 	for _, p := range points {
 		t.AddRow(float64(p), debian[p], tinyx[p], docker[p], minipy[p], procs[p])
 	}
 	t.Note("paper @1000: debian ≈114GB, tinyx ≈27GB, docker ≈5GB, minipython close to docker")
-	return Result{ID: "fig14", Paper: "unikernel memory close to Docker; Tinyx +22GB at 1000; Debian ~114GB", Table: t}, nil
+	return Result{ID: "fig14", Paper: "unikernel memory close to Docker; Tinyx +22GB at 1000; Debian ~114GB", Table: t, VirtualMS: maxOf(virtMS)}, nil
 }
 
 // fig15 — CPU utilization vs number of guests for noop unikernel,
@@ -280,57 +311,71 @@ func fig15(o Options) (Result, error) {
 		wanted[p] = true
 	}
 	big := sched.Machine{Name: "cpu-host", Cores: 4, Dom0Cores: 1, MemoryGB: 160}
-	vmSweep := func(img guest.Image) (map[int]float64, error) {
+	vmSweep := func(img guest.Image) (map[int]float64, float64, error) {
 		h, err := core.NewHost(big, o.Seed)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		drv := h.Driver(toolstack.ModeChaosNoXS)
 		out := map[int]float64{}
 		for i := 1; i <= n; i++ {
 			if _, err := drv.Create(fmt.Sprintf("g%d", i), img); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if wanted[i] {
 				out[i] = h.CPUUtilization() * 100
 			}
 		}
-		return out, nil
+		return out, h.Clock.Now().Milliseconds(), nil
 	}
-	debian, err := vmSweep(guest.DebianMinimal())
-	if err != nil {
-		return Result{}, err
-	}
-	tinyx, err := vmSweep(guest.TinyxNoop())
-	if err != nil {
-		return Result{}, err
-	}
-	uni, err := vmSweep(guest.Noop())
-	if err != nil {
-		return Result{}, err
-	}
-	// Docker: idle containers, utilization from duty cycles.
-	h, err := core.NewHost(big, o.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	docker := map[int]float64{}
-	for i := 1; i <= n; i++ {
-		if _, err := h.Docker.Run("noop"); err != nil {
-			return Result{}, err
+	// Four independent hosts: three guest flavors plus Docker.
+	cols := make([]map[int]float64, 4)
+	virtMS := make([]float64, 4)
+	err := o.runSeries(4, func(j int) error {
+		switch j {
+		case 0:
+			m, v, err := vmSweep(guest.DebianMinimal())
+			cols[j], virtMS[j] = m, v
+			return err
+		case 1:
+			m, v, err := vmSweep(guest.TinyxNoop())
+			cols[j], virtMS[j] = m, v
+			return err
+		case 2:
+			m, v, err := vmSweep(guest.Noop())
+			cols[j], virtMS[j] = m, v
+			return err
+		default:
+			// Docker: idle containers, utilization from duty cycles.
+			h, err := core.NewHost(big, o.Seed)
+			if err != nil {
+				return err
+			}
+			docker := map[int]float64{}
+			for i := 1; i <= n; i++ {
+				if _, err := h.Docker.Run("noop"); err != nil {
+					return err
+				}
+				h.Env.Sched.AddGuest(0, 0, 0, containerUtilDuty)
+				if wanted[i] {
+					docker[i] = h.CPUUtilization() * 100
+				}
+			}
+			cols[j], virtMS[j] = docker, h.Clock.Now().Milliseconds()
+			return nil
 		}
-		h.Env.Sched.AddGuest(0, 0, 0, containerUtilDuty)
-		if wanted[i] {
-			docker[i] = h.CPUUtilization() * 100
-		}
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	debian, tinyx, uni, docker := cols[0], cols[1], cols[2], cols[3]
 	t := metrics.NewTable("Figure 15: CPU utilization (%) vs number of guests",
 		"n", "debian_pct", "tinyx_pct", "unikernel_pct", "docker_pct")
 	for _, p := range points {
 		t.AddRow(float64(p), debian[p], tinyx[p], uni[p], docker[p])
 	}
 	t.Note("paper @1000: debian ≈25%%, tinyx ≈1%%, unikernel a fraction above docker (lowest)")
-	return Result{ID: "fig15", Paper: "Debian ~25% at 1000 guests; Tinyx ~1%; unikernel ≈ Docker", Table: t}, nil
+	return Result{ID: "fig15", Paper: "Debian ~25% at 1000 guests; Tinyx ~1%; unikernel ≈ Docker", Table: t, VirtualMS: maxOf(virtMS)}, nil
 }
 
 // containerUtilDuty is an idle container's reported duty cycle.

@@ -30,6 +30,8 @@ type computeRun struct {
 	CompletionMS []float64
 	// Concurrent[k] is the number of live VMs when request k arrives.
 	Concurrent []int
+	// VirtMS is the run's final virtual time in milliseconds.
+	VirtMS float64
 }
 
 // jobExtraWork is the per-job worker-core overhead a store-connected
@@ -117,18 +119,31 @@ func runComputeService(mode toolstack.Mode, requests int, seed uint64) (*compute
 			return nil, err
 		}
 	}
+	out.VirtMS = h.Clock.Now().Milliseconds()
 	return out, nil
+}
+
+// computePair runs the fig17/fig18 workload for chaos[XS] and LightVM
+// on independent timelines, in parallel when the options allow it.
+func computePair(o Options, n int) (xs, lv *computeRun, err error) {
+	modes := []toolstack.Mode{toolstack.ModeChaosXS, toolstack.ModeLightVM}
+	runs := make([]*computeRun, len(modes))
+	err = o.runSeries(len(modes), func(i int) error {
+		r, err := runComputeService(modes[i], n, o.Seed)
+		runs[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return runs[0], runs[1], nil
 }
 
 // fig17 — service time of the nth compute request on the overloaded
 // machine, chaos[XS] vs LightVM.
 func fig17(o Options) (Result, error) {
 	n := o.scaled(1000, 40)
-	xs, err := runComputeService(toolstack.ModeChaosXS, n, o.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	lv, err := runComputeService(toolstack.ModeLightVM, n, o.Seed)
+	xs, lv, err := computePair(o, n)
 	if err != nil {
 		return Result{}, err
 	}
@@ -138,18 +153,14 @@ func fig17(o Options) (Result, error) {
 		t.AddRow(float64(p), xs.CompletionMS[p-1]/1000, lv.CompletionMS[p-1]/1000)
 	}
 	t.Note("paper: noxs improves completion times ~5× when 100-200 VMs are backlogged; jobs take ~0.8s, arrivals every 250ms on 3 worker cores")
-	return Result{ID: "fig17", Paper: "LightVM completes requests ~5× faster under backlog", Table: t}, nil
+	return Result{ID: "fig17", Paper: "LightVM completes requests ~5× faster under backlog", Table: t, VirtualMS: maxOf([]float64{xs.VirtMS, lv.VirtMS})}, nil
 }
 
 // fig18 — number of concurrently running VMs over time for the same
 // workload.
 func fig18(o Options) (Result, error) {
 	n := o.scaled(1000, 40)
-	xs, err := runComputeService(toolstack.ModeChaosXS, n, o.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	lv, err := runComputeService(toolstack.ModeLightVM, n, o.Seed)
+	xs, lv, err := computePair(o, n)
 	if err != nil {
 		return Result{}, err
 	}
@@ -159,5 +170,5 @@ func fig18(o Options) (Result, error) {
 		t.AddRow(float64(p-1)*0.25, float64(xs.Concurrent[p-1]), float64(lv.Concurrent[p-1]))
 	}
 	t.Note("paper: chaos[XS] backlog climbs toward ~140 concurrent VMs; LightVM stays far lower")
-	return Result{ID: "fig18", Paper: "noxs keeps the VM backlog small under overload", Table: t}, nil
+	return Result{ID: "fig18", Paper: "noxs keeps the VM backlog small under overload", Table: t, VirtualMS: maxOf([]float64{xs.VirtMS, lv.VirtMS})}, nil
 }

@@ -40,11 +40,15 @@ func (t Time) Milliseconds() float64 { return float64(t) / float64(time.Millisec
 // String formats the time as a duration since simulation start.
 func (t Time) String() string { return Duration(t).String() }
 
-// event is a queued callback.
+// event is a queued callback. Fired events are returned to the clock's
+// free list and reused, so steady-state scheduling does not grow the
+// heap (fig10/fig16 push hundreds of thousands of events through one
+// clock).
 type event struct {
-	at  Time
-	seq uint64 // tie-breaker for same-time events: FIFO order
-	fn  func()
+	at   Time
+	seq  uint64 // tie-breaker for same-time events: FIFO order
+	fn   func()
+	next *event // free-list link (valid only while pooled)
 }
 
 type eventHeap []*event
@@ -74,6 +78,28 @@ type Clock struct {
 	queue  eventHeap
 	seq    uint64
 	halted bool
+	free   *event // recycled events (see event)
+}
+
+// newEvent takes an event from the free list, or allocates one.
+func (c *Clock) newEvent(at Time, fn func()) *event {
+	e := c.free
+	if e == nil {
+		e = &event{}
+	} else {
+		c.free = e.next
+	}
+	c.seq++
+	e.at, e.seq, e.fn, e.next = at, c.seq, fn, nil
+	return e
+}
+
+// release returns a fired event to the free list. The callback is
+// cleared so pooled events do not retain closures.
+func (c *Clock) release(e *event) {
+	e.fn = nil
+	e.next = c.free
+	c.free = e
 }
 
 // NewClock returns a clock positioned at t=0 with an empty queue.
@@ -108,6 +134,7 @@ func (c *Clock) AdvanceTo(t Time) {
 			c.now = e.at
 		}
 		e.fn()
+		c.release(e)
 	}
 	if t > c.now {
 		c.now = t
@@ -120,8 +147,7 @@ func (c *Clock) Schedule(at Time, fn func()) {
 	if at < c.now {
 		at = c.now
 	}
-	c.seq++
-	heap.Push(&c.queue, &event{at: at, seq: c.seq, fn: fn})
+	heap.Push(&c.queue, c.newEvent(at, fn))
 }
 
 // After queues fn to run d from now.
@@ -143,6 +169,7 @@ func (c *Clock) Drain(limit int) int {
 			c.now = e.at
 		}
 		e.fn()
+		c.release(e)
 		n++
 	}
 	return n

@@ -261,3 +261,49 @@ func TestTimeAddSubRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEventPoolRecycles: after warmup, a schedule/drain cycle reuses
+// pooled event structs instead of allocating fresh ones — the clock is
+// on every simulated operation's path, so this must stay allocation
+// free.
+func TestEventPoolRecycles(t *testing.T) {
+	c := NewClock()
+	fn := func() {}
+	// Warm the free list.
+	for i := 0; i < 8; i++ {
+		c.Schedule(c.Now().Add(time.Duration(i)), fn)
+	}
+	c.Drain(0)
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			c.Schedule(c.Now().Add(time.Duration(i)), fn)
+		}
+		c.Drain(0)
+	})
+	if avg > 0 {
+		t.Fatalf("schedule/drain cycle allocates %.1f/run, want 0", avg)
+	}
+}
+
+// TestEventPoolPreservesSemantics: recycled events must not leak stale
+// callbacks or deadlines.
+func TestEventPoolPreservesSemantics(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.Schedule(c.Now().Add(2*time.Millisecond), func() { order = append(order, 2) })
+	c.Schedule(c.Now().Add(1*time.Millisecond), func() { order = append(order, 1) })
+	c.Drain(0)
+	// Reuse the two pooled events with new deadlines and callbacks.
+	c.Schedule(c.Now().Add(1*time.Millisecond), func() { order = append(order, 3) })
+	c.Schedule(c.Now().Add(2*time.Millisecond), func() { order = append(order, 4) })
+	c.Drain(0)
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

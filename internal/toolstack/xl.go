@@ -18,6 +18,11 @@ import (
 // shows ballooning as guests accumulate.
 type XL struct {
 	env *Env
+	// dirBuf backs the per-creation "/local/domain" listing; reusing
+	// it keeps the listing's simulator-side cost flat as guests
+	// accumulate (the *modelled* cost still grows with the domain
+	// count).
+	dirBuf []string
 }
 
 // NewXL returns the stock driver.
@@ -107,7 +112,7 @@ func (x *XL) Create(name string, img guest.Image) (*VM, error) {
 				retErr = err
 				return
 			}
-			_, _ = e.Store.Directory("/local/domain")
+			x.dirBuf, _ = e.Store.DirectoryAppend("/local/domain", x.dirBuf)
 			for i := 0; i < xlStateReads; i++ {
 				_, _ = e.Store.Read(domPath + "/name")
 			}

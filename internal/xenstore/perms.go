@@ -107,7 +107,7 @@ func (s *Store) GuestRead(domid int, path string) (string, error) {
 
 // GuestWrite is a quota- and ACL-checked write issued by a guest.
 func (s *Store) GuestWrite(domid int, path, value string) error {
-	n, _, _ := s.lookup(path)
+	n, _ := s.resolve(path)
 	if !s.mayWrite(domid, path, n) {
 		s.chargeOp(1)
 		return fmt.Errorf("%w: domain %d writing %s", ErrPermission, domid, path)

@@ -104,10 +104,14 @@ func (s *Store) WriteAsGuest(owner int, path, value string) error {
 
 // missingNodes reports how many path components do not yet exist.
 func (s *Store) missingNodes(path string) int {
-	parts := split(path)
+	it := segments(path)
 	n := s.root
 	missing := 0
-	for _, p := range parts {
+	for {
+		p, ok := it.next()
+		if !ok {
+			return missing
+		}
 		if missing > 0 {
 			missing++
 			continue
@@ -119,7 +123,6 @@ func (s *Store) missingNodes(path string) int {
 		}
 		n = child
 	}
-	return missing
 }
 
 // RmOwned removes a path owned by a guest, returning quota.

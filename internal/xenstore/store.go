@@ -66,6 +66,11 @@ type Store struct {
 
 	watches   []*watch
 	nextWatch int
+	// watchIndex buckets watches by the first segment of their prefix
+	// so fireWatches only scans the modified subtree's candidates;
+	// rootWatches holds watches on "/" (they match every path).
+	watchIndex  map[string][]*watch
+	rootWatches []*watch
 
 	txns    map[TxnID]*txn
 	nextTxn TxnID
@@ -105,13 +110,37 @@ func New(clock *sim.Clock) *Store {
 	}
 }
 
-// split turns "/a/b/c" into []{"a","b","c"}.
-func split(path string) []string {
-	path = strings.Trim(path, "/")
-	if path == "" {
-		return nil
+// segIter walks a path's components without allocating: "/a/b/c"
+// yields "a", "b", "c" as substrings of the input. Path resolution is
+// the store's hottest loop (every read/write/ensure), so it must not
+// build a []string per operation the way strings.Split does.
+type segIter struct {
+	rest string
+}
+
+// segments returns an iterator over path's components.
+func segments(path string) segIter {
+	return segIter{rest: strings.Trim(path, "/")}
+}
+
+// next returns the following component, or ok=false at the end.
+func (it *segIter) next() (seg string, ok bool) {
+	if it.rest == "" {
+		return "", false
 	}
-	return strings.Split(path, "/")
+	if i := strings.IndexByte(it.rest, '/'); i >= 0 {
+		seg, it.rest = it.rest[:i], it.rest[i+1:]
+	} else {
+		seg, it.rest = it.rest, ""
+	}
+	return seg, true
+}
+
+// firstSegment returns the first component of path ("" for the root).
+func firstSegment(path string) string {
+	it := segments(path)
+	seg, _ := it.next()
+	return seg
 }
 
 // chargeOp accounts one protocol round trip plus extra node touches.
@@ -146,34 +175,61 @@ func (s *Store) logAccess() {
 	}
 }
 
-// lookup resolves a path, returning the node and the number of nodes
-// visited. Missing nodes return ErrNoEnt.
-func (s *Store) lookup(path string) (*node, int, error) {
-	parts := split(path)
+// resolve walks a path without allocating, returning the node (nil if
+// missing) and the number of nodes visited.
+func (s *Store) resolve(path string) (*node, int) {
+	it := segments(path)
 	n := s.root
 	touched := 1
-	for _, p := range parts {
+	for {
+		p, ok := it.next()
+		if !ok {
+			return n, touched
+		}
 		child, ok := n.children[p]
 		if !ok {
-			return nil, touched, fmt.Errorf("%w: %s", ErrNoEnt, path)
+			return nil, touched
 		}
 		n = child
 		touched++
 	}
+}
+
+// lookup resolves a path, returning the node and the number of nodes
+// visited. Missing nodes return ErrNoEnt.
+func (s *Store) lookup(path string) (*node, int, error) {
+	n, touched := s.resolve(path)
+	if n == nil {
+		return nil, touched, fmt.Errorf("%w: %s", ErrNoEnt, path)
+	}
 	return n, touched, nil
 }
 
+// childMapHint pre-sizes newly created child maps: store directories
+// are mostly small (a device dir holds a handful of entries), so a
+// small hint avoids growth rehashes without wasting space on leaves.
+const childMapHint = 4
+
 // ensure creates intermediate directories and returns the leaf,
 // reporting nodes visited/created and whether the leaf was created.
+// Child maps are allocated lazily: leaf nodes (the common case) never
+// pay for an empty map.
 func (s *Store) ensure(path string, owner int) (*node, int, bool) {
-	parts := split(path)
+	it := segments(path)
 	n := s.root
 	touched := 1
 	created := false
-	for _, p := range parts {
+	for {
+		p, ok := it.next()
+		if !ok {
+			return n, touched, created
+		}
 		child, ok := n.children[p]
 		if !ok {
-			child = &node{name: p, children: map[string]*node{}, owner: owner}
+			child = &node{name: p, owner: owner}
+			if n.children == nil {
+				n.children = make(map[string]*node, childMapHint)
+			}
 			n.children[p] = child
 			s.gen++
 			n.gen = s.gen // directory modified
@@ -182,7 +238,6 @@ func (s *Store) ensure(path string, owner int) (*node, int, bool) {
 		n = child
 		touched++
 	}
-	return n, touched, created
 }
 
 // Write sets path to value (creating intermediate directories),
@@ -213,9 +268,9 @@ func (s *Store) Read(path string) (string, error) {
 
 // Exists reports whether path resolves.
 func (s *Store) Exists(path string) bool {
-	n, touched, err := s.lookup(path)
+	n, touched := s.resolve(path)
 	s.chargeOp(touched)
-	return err == nil && n != nil
+	return n != nil
 }
 
 // Mkdir creates a directory node.
@@ -233,12 +288,21 @@ func (s *Store) Mkdir(path string) {
 // touches every child — this is one of the O(#guests) costs on the
 // creation path when listing /local/domain.
 func (s *Store) Directory(path string) ([]string, error) {
+	return s.DirectoryAppend(path, nil)
+}
+
+// DirectoryAppend is Directory appending into buf (sliced to zero
+// length first). Callers that list repeatedly — the toolstack lists
+// /local/domain on every creation — pass the previous result back in
+// so the listing reuses one buffer instead of allocating O(#guests)
+// per operation.
+func (s *Store) DirectoryAppend(path string, buf []string) ([]string, error) {
 	n, touched, err := s.lookup(path)
 	if err != nil {
 		s.chargeOp(touched)
 		return nil, err
 	}
-	out := make([]string, 0, len(n.children))
+	out := buf[:0]
 	for name := range n.children {
 		out = append(out, name)
 	}
@@ -249,17 +313,29 @@ func (s *Store) Directory(path string) ([]string, error) {
 
 // Rm removes path and its subtree.
 func (s *Store) Rm(path string) error {
-	parts := split(path)
-	if len(parts) == 0 {
+	it := segments(path)
+	leaf, ok := it.next()
+	if !ok {
 		return errors.New("xenstore: cannot remove root")
 	}
-	parentPath := "/" + strings.Join(parts[:len(parts)-1], "/")
-	parent, touched, err := s.lookup(parentPath)
-	if err != nil {
-		s.chargeOp(touched)
-		return err
+	// Walk to the parent of the final component without rebuilding the
+	// parent path string.
+	parent := s.root
+	touched := 1
+	for {
+		next, more := it.next()
+		if !more {
+			break
+		}
+		child, ok := parent.children[leaf]
+		if !ok {
+			s.chargeOp(touched)
+			return fmt.Errorf("%w: %s", ErrNoEnt, path)
+		}
+		parent = child
+		touched++
+		leaf = next
 	}
-	leaf := parts[len(parts)-1]
 	child, ok := parent.children[leaf]
 	if !ok {
 		s.chargeOp(touched)
@@ -295,8 +371,8 @@ func (s *Store) NumNodes() int { return countNodes(s.root) - 1 }
 // comparisons are real.
 func (s *Store) WriteUniqueName(dir, key, name string) error {
 	s.Count.UniqScans++
-	n, _, err := s.lookup(dir)
-	if err == nil {
+	n, _ := s.resolve(dir)
+	if n != nil {
 		for _, child := range n.children {
 			s.clock.Sleep(costs.XSNameUniquenessPerGuest)
 			if child.value == name {
@@ -304,6 +380,11 @@ func (s *Store) WriteUniqueName(dir, key, name string) error {
 				return fmt.Errorf("%w: name %q", ErrExists, name)
 			}
 		}
+		// The scan touches every registered name whether or not a
+		// duplicate turns up (§4.2): accepting a unique name costs the
+		// same full comparison pass, so the successful path charges the
+		// scan too.
+		s.chargeOp(len(n.children))
 	}
 	s.WriteAs(0, dir+"/"+key, name)
 	return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"lightvm/internal/costs"
 	"lightvm/internal/sim"
@@ -397,6 +398,41 @@ func TestUniqueNameScanLinearCost(t *testing.T) {
 	nth := c.Now().Sub(before)
 	if nth <= first {
 		t.Fatalf("uniqueness scan not linear: first=%v nth=%v", first, nth)
+	}
+}
+
+func TestUniqueNameChargesSuccessScan(t *testing.T) {
+	// The §4.2 uniqueness scan costs a full pass over the registered
+	// names whether or not it finds a duplicate; the success path must
+	// charge it too, not only the rejection path.
+	const population = 40
+	s, c := newStore()
+	for i := 0; i < population; i++ {
+		if err := s.WriteUniqueName("/vm-names", fmt.Sprintf("k%d", i), fmt.Sprintf("g%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := c.Now()
+	opsBefore := s.Count.Ops
+	if err := s.WriteUniqueName("/vm-names", "kx", "g-new"); err != nil {
+		t.Fatal(err)
+	}
+	cost := c.Now().Sub(before)
+	// Baseline: the same write without the uniqueness protocol.
+	s2, c2 := newStore()
+	for i := 0; i < population; i++ {
+		s2.Write(fmt.Sprintf("/vm-names/k%d", i), fmt.Sprintf("g%d", i))
+	}
+	before2 := c2.Now()
+	s2.Write("/vm-names/kx", "g-new")
+	plain := c2.Now().Sub(before2)
+	minExtra := time.Duration(population) * costs.XSNameUniquenessPerGuest
+	if cost-plain < minExtra {
+		t.Fatalf("successful WriteUniqueName charged only %v over a plain write, want ≥%v scan cost", cost-plain, minExtra)
+	}
+	// The scan is charged as a store-daemon op of its own.
+	if got := s.Count.Ops - opsBefore; got != 2 {
+		t.Fatalf("successful WriteUniqueName charged %d ops, want 2 (scan + write)", got)
 	}
 }
 

@@ -24,14 +24,59 @@ type watch struct {
 // WatchID identifies a registered watch for removal.
 type WatchID int
 
+// watchBucket returns the index bucket for a watch prefix or modified
+// path: watches are bucketed by their first path segment, so a write
+// only scans the watches rooted in its own subtree instead of every
+// registered watch. Watches on "/" live in rootWatches and match
+// everything.
+func (s *Store) watchBucket(first string) []*watch {
+	if s.watchIndex == nil {
+		return nil
+	}
+	return s.watchIndex[first]
+}
+
 // Watch registers fn on path: it fires for modifications of the node
 // or anything beneath it (Xen semantics).
 func (s *Store) Watch(path, token string, fn WatchFn) WatchID {
 	s.nextWatch++
 	w := &watch{id: s.nextWatch, prefix: normalize(path), token: token, fn: fn}
 	s.watches = append(s.watches, w)
+	if w.prefix == "/" {
+		s.rootWatches = append(s.rootWatches, w)
+	} else {
+		if s.watchIndex == nil {
+			s.watchIndex = make(map[string][]*watch)
+		}
+		first := firstSegment(w.prefix)
+		s.watchIndex[first] = append(s.watchIndex[first], w)
+	}
 	s.chargeOp(1)
 	return WatchID(w.id)
+}
+
+// dropIndexed removes w from its index bucket, preserving order.
+func (s *Store) dropIndexed(w *watch) {
+	if w.prefix == "/" {
+		s.rootWatches = removeWatch(s.rootWatches, w)
+		return
+	}
+	first := firstSegment(w.prefix)
+	bucket := removeWatch(s.watchIndex[first], w)
+	if len(bucket) == 0 {
+		delete(s.watchIndex, first)
+	} else {
+		s.watchIndex[first] = bucket
+	}
+}
+
+func removeWatch(ws []*watch, w *watch) []*watch {
+	for i, x := range ws {
+		if x == w {
+			return append(ws[:i], ws[i+1:]...)
+		}
+	}
+	return ws
 }
 
 // Unwatch removes a watch.
@@ -39,6 +84,7 @@ func (s *Store) Unwatch(id WatchID) {
 	for i, w := range s.watches {
 		if w.id == int(id) {
 			s.watches = append(s.watches[:i], s.watches[i+1:]...)
+			s.dropIndexed(w)
 			break
 		}
 	}
@@ -52,6 +98,7 @@ func (s *Store) UnwatchByToken(token string) int {
 	out := s.watches[:0]
 	for _, w := range s.watches {
 		if w.token == token {
+			s.dropIndexed(w)
 			removed++
 			continue
 		}
@@ -66,6 +113,11 @@ func (s *Store) UnwatchByToken(token string) int {
 func (s *Store) NumWatches() int { return len(s.watches) }
 
 func normalize(path string) string {
+	if len(path) > 1 && path[0] == '/' && path[len(path)-1] != '/' {
+		// Already normalized — the overwhelmingly common case on the
+		// write path; skip the Trim allocation.
+		return path
+	}
 	return "/" + strings.Trim(path, "/")
 }
 
@@ -74,17 +126,50 @@ func normalize(path string) string {
 // each commit point; as guests accumulate watches (each device leaves
 // one on its backend directory), writes get slower — one of the
 // mechanisms behind the superlinear XenStore curve in Fig. 5.
+//
+// The *simulated* cost stays linear in the watch count (that is the
+// modelled daemon's behaviour); the simulator itself answers in O(1)
+// and only walks the modified subtree's own bucket when delivering.
 func (s *Store) matchCost(string) int {
 	// Each watch comparison costs about one node touch.
 	return len(s.watches)
 }
 
+// watchMatches reports whether a watch on prefix covers path (the node
+// itself or anything beneath it). Both are normalized; the comparison
+// allocates nothing.
+func watchMatches(prefix, path string) bool {
+	if prefix == "/" {
+		return true
+	}
+	if !strings.HasPrefix(path, prefix) {
+		return false
+	}
+	return len(path) == len(prefix) || path[len(prefix)] == '/'
+}
+
 // fireWatches delivers events for a modified path. The delivery cost
-// is charged per matching watch.
+// is charged per matching watch. Candidates come from the root bucket
+// plus the bucket of the path's first segment, merged by registration
+// id so delivery order matches the single-list implementation.
 func (s *Store) fireWatches(path string) {
+	bucket := s.watchBucket(firstSegment(path))
+	if len(bucket) == 0 && len(s.rootWatches) == 0 {
+		return
+	}
 	p := normalize(path)
-	for _, w := range s.watches {
-		if p == w.prefix || strings.HasPrefix(p, w.prefix+"/") {
+	root := s.rootWatches
+	for len(bucket) > 0 || len(root) > 0 {
+		var w *watch
+		switch {
+		case len(bucket) == 0:
+			w, root = root[0], root[1:]
+		case len(root) == 0 || bucket[0].id < root[0].id:
+			w, bucket = bucket[0], bucket[1:]
+		default:
+			w, root = root[0], root[1:]
+		}
+		if watchMatches(w.prefix, p) {
 			s.Count.WatchFires++
 			s.clock.Sleep(sim.Duration(costs.XSWatchFire))
 			w.fn(p, w.token)

@@ -160,6 +160,31 @@ type ExperimentResult struct {
 	// Plot is an ASCII rendering of the same data (log-y), for
 	// terminal consumption.
 	Plot string
+	// WallMS is the real time the generator took, in milliseconds
+	// (set by RunExperiments).
+	WallMS float64
+	// VirtualMS is the figure's simulated makespan in milliseconds
+	// (0 = not instrumented by the generator).
+	VirtualMS float64
+	// Allocs is the generator's heap-allocation count; recorded only
+	// on sequential runs (parallel == 1), 0 otherwise.
+	Allocs uint64
+}
+
+func toExperimentResult(res experiments.Result) ExperimentResult {
+	out := ExperimentResult{
+		ID:        res.ID,
+		Paper:     res.Paper,
+		Output:    res.Table.String(),
+		WallMS:    float64(res.Wall) / 1e6,
+		VirtualMS: res.VirtualMS,
+		Allocs:    res.Allocs,
+	}
+	if tab, ok := res.Table.(*metrics.Table); ok {
+		// Most of the paper's time figures are log-scale.
+		out.Plot = tab.Plot(72, 18, true)
+	}
+	return out
 }
 
 // RunExperiment regenerates one paper figure at the given scale
@@ -169,10 +194,26 @@ func RunExperiment(id string, scale float64, seed uint64) (ExperimentResult, err
 	if err != nil {
 		return ExperimentResult{}, err
 	}
-	out := ExperimentResult{ID: res.ID, Paper: res.Paper, Output: res.Table.String()}
-	if tab, ok := res.Table.(*metrics.Table); ok {
-		// Most of the paper's time figures are log-scale.
-		out.Plot = tab.Plot(72, 18, true)
+	return toExperimentResult(res), nil
+}
+
+// RunExperiments regenerates the given figures (all registered ones if
+// ids is empty) on a bounded worker pool. parallel bounds the pool:
+// 0 uses GOMAXPROCS, 1 forces sequential execution. Results come back
+// in input order and are byte-identical regardless of parallelism —
+// every figure (and every series within a figure) owns its own virtual
+// clock, host and RNG.
+func RunExperiments(ids []string, scale float64, seed uint64, parallel int) ([]ExperimentResult, error) {
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	res, err := experiments.RunMany(ids, experiments.Options{Scale: scale, Seed: seed, Parallel: parallel})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ExperimentResult, len(res))
+	for i, r := range res {
+		out[i] = toExperimentResult(r)
 	}
 	return out, nil
 }
