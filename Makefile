@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify race bench bench-smoke clean
+.PHONY: build test verify verify-race race bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ verify: build
 	$(GO) test ./...
 	$(GO) test -race ./internal/experiments ./internal/xenstore ./internal/sim
 
+# Full gate with the race detector over every package (slower than
+# `verify`, which races only the concurrency-bearing ones).
+verify-race: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
 race:
 	$(GO) test -race ./...
 
@@ -23,9 +29,12 @@ bench:
 	$(GO) run ./cmd/lightvm-bench -exp all -parallel 0 -json
 
 # Quick end-to-end pass at 5% scale — exercises every generator, the
-# worker pool and the JSON report in a few seconds.
+# worker pool and the JSON report in a few seconds. The extra
+# ext-faults line runs the fault-injection sweep at tiny scale with a
+# distinct seed, so the recovery paths get an end-to-end shake too.
 bench-smoke:
 	$(GO) run ./cmd/lightvm-bench -exp all -scale 0.05 -parallel 0 -json
+	$(GO) run ./cmd/lightvm-bench -exp ext-faults -scale 0.02 -seed 7 -parallel 0
 
 clean:
 	rm -f BENCH_*.json

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"lightvm/internal/core"
+	"lightvm/internal/costs"
 	"lightvm/internal/guest"
 	"lightvm/internal/sched"
 	"lightvm/internal/sim"
@@ -25,6 +26,7 @@ var (
 	ErrUnknownHost   = errors.New("cluster: unknown host")
 	ErrUnknownVM     = errors.New("cluster: unknown VM")
 	ErrDuplicateHost = errors.New("cluster: duplicate host")
+	ErrHostFailed    = errors.New("cluster: host has failed")
 )
 
 // Cluster is a set of hosts on one clock with a VM placement table.
@@ -34,6 +36,7 @@ type Cluster struct {
 	hosts     map[string]*core.Host
 	hostNames []string          // insertion order, for deterministic placement
 	placement map[string]string // VM name → host name
+	failed    map[string]bool   // hosts marked dead by FailHost
 }
 
 // New creates an empty cluster on clock.
@@ -42,6 +45,7 @@ func New(clock *sim.Clock) *Cluster {
 		Clock:     clock,
 		hosts:     make(map[string]*core.Host),
 		placement: make(map[string]string),
+		failed:    make(map[string]bool),
 	}
 }
 
@@ -65,6 +69,9 @@ func (c *Cluster) Host(name string) (*core.Host, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, name)
 	}
+	if c.failed[name] {
+		return nil, fmt.Errorf("%w: %q", ErrHostFailed, name)
+	}
 	return h, nil
 }
 
@@ -86,7 +93,12 @@ func (c *Cluster) VMs() int { return len(c.placement) }
 // pick returns candidate hosts ordered by load: fewest VMs first,
 // most free memory as the tie-breaker, join order as the final tie.
 func (c *Cluster) pick() []string {
-	names := append([]string(nil), c.hostNames...)
+	names := make([]string, 0, len(c.hostNames))
+	for _, n := range c.hostNames {
+		if !c.failed[n] {
+			names = append(names, n)
+		}
+	}
 	sort.SliceStable(names, func(i, j int) bool {
 		hi, hj := c.hosts[names[i]], c.hosts[names[j]]
 		if hi.VMs() != hj.VMs() {
@@ -101,14 +113,15 @@ func (c *Cluster) pick() []string {
 // next candidate if a host is out of resources. It returns the VM and
 // the host it landed on.
 func (c *Cluster) Place(mode toolstack.Mode, vmName string, img guest.Image) (*toolstack.VM, string, error) {
-	if len(c.hostNames) == 0 {
+	cands := c.pick()
+	if len(cands) == 0 {
 		return nil, "", ErrNoHosts
 	}
 	if _, dup := c.placement[vmName]; dup {
 		return nil, "", fmt.Errorf("cluster: VM %q already placed", vmName)
 	}
 	var lastErr error
-	for _, name := range c.pick() {
+	for _, name := range cands {
 		h := c.hosts[name]
 		if err := h.EnsureFlavor(img, mode); err != nil {
 			lastErr = err
@@ -169,6 +182,60 @@ func (c *Cluster) Destroy(vmName string) error {
 	return nil
 }
 
+// LostVM describes a guest that was running on a failed host, with
+// enough of its configuration to re-instantiate it elsewhere.
+type LostVM struct {
+	Name  string
+	Mode  toolstack.Mode
+	Image guest.Image
+}
+
+// FailHost marks a member as dead — a whole-machine failure. Its
+// guests are gone, it takes no further placements, and Host/Move
+// reject it with ErrHostFailed. The lost VMs' descriptors are returned
+// sorted by name, ready for Failover.
+func (c *Cluster) FailHost(name string) ([]LostVM, error) {
+	h, ok := c.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	if c.failed[name] {
+		return nil, fmt.Errorf("%w: %q", ErrHostFailed, name)
+	}
+	c.failed[name] = true
+	var lost []LostVM
+	for _, vm := range h.Env.AllVMs() { // sorted by name
+		if c.placement[vm.Name] != name {
+			continue
+		}
+		delete(c.placement, vm.Name)
+		lost = append(lost, LostVM{Name: vm.Name, Mode: vm.Mode, Image: vm.Image})
+	}
+	return lost, nil
+}
+
+// Failed reports whether a member has been marked dead.
+func (c *Cluster) Failed(name string) bool { return c.failed[name] }
+
+// Failover re-instantiates the lost VMs on the surviving members via
+// the usual least-loaded placement, after charging the failure
+// detection delay. It returns the total recovery time (detection plus
+// re-creation) and how many VMs came back; a placement error aborts
+// the sweep with the partial count.
+func (c *Cluster) Failover(lost []LostVM) (time.Duration, int, error) {
+	start := c.Clock.Now()
+	c.Clock.Sleep(costs.HostFailureDetect)
+	recovered := 0
+	for _, l := range lost {
+		if _, _, err := c.Place(l.Mode, l.Name, l.Image); err != nil {
+			return time.Duration(c.Clock.Now().Sub(start)), recovered,
+				fmt.Errorf("cluster: failover of %q: %w", l.Name, err)
+		}
+		recovered++
+	}
+	return time.Duration(c.Clock.Now().Sub(start)), recovered, nil
+}
+
 // HostStat is one member's load summary.
 type HostStat struct {
 	Name     string
@@ -177,10 +244,13 @@ type HostStat struct {
 	CPU      float64
 }
 
-// Stats summarizes every member in join order.
+// Stats summarizes every live member in join order.
 func (c *Cluster) Stats() []HostStat {
 	out := make([]HostStat, 0, len(c.hostNames))
 	for _, name := range c.hostNames {
+		if c.failed[name] {
+			continue
+		}
 		h := c.hosts[name]
 		out = append(out, HostStat{
 			Name:     name,

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/guest"
+	"lightvm/internal/sched"
+	"lightvm/internal/sim"
+	"lightvm/internal/toolstack"
+)
+
+func failoverCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := New(sim.NewClock())
+	machine := sched.Machine{Name: "edge", Cores: 4, Dom0Cores: 1, MemoryGB: 32}
+	for i := 0; i < 2; i++ {
+		if _, err := c.AddHost(fmt.Sprintf("h%d", i), machine, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestFailHostReportsLostVMsSorted(t *testing.T) {
+	c := failoverCluster(t)
+	for i := 0; i < 4; i++ {
+		if _, _, err := c.Place(toolstack.ModeChaosNoXS, fmt.Sprintf("vm%d", i), guest.Daytime()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lost, err := c.FailHost("h0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Least-loaded placement alternates hosts, so each held two.
+	if len(lost) != 2 {
+		t.Fatalf("lost %d VMs, want 2", len(lost))
+	}
+	if !sort.SliceIsSorted(lost, func(i, j int) bool { return lost[i].Name < lost[j].Name }) {
+		t.Fatal("lost VMs not sorted by name")
+	}
+	for _, l := range lost {
+		if _, err := c.HostOf(l.Name); !errors.Is(err, ErrUnknownVM) {
+			t.Fatalf("lost VM %q still placed", l.Name)
+		}
+	}
+	if c.VMs() != 2 {
+		t.Fatalf("placement still tracks %d VMs, want 2", c.VMs())
+	}
+}
+
+func TestFailedHostIsRejectedEverywhere(t *testing.T) {
+	c := failoverCluster(t)
+	// vm0 lands on h0 (join order), vm1 on h1.
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.Place(toolstack.ModeChaosNoXS, fmt.Sprintf("vm%d", i), guest.Daytime()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.FailHost("h0"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Failed("h0") {
+		t.Fatal("h0 not marked failed")
+	}
+	if _, err := c.Host("h0"); !errors.Is(err, ErrHostFailed) {
+		t.Fatalf("Host on failed member: %v, want ErrHostFailed", err)
+	}
+	if _, err := c.FailHost("h0"); !errors.Is(err, ErrHostFailed) {
+		t.Fatalf("double FailHost: %v, want ErrHostFailed", err)
+	}
+	if _, err := c.Move("vm1", "h0"); !errors.Is(err, ErrHostFailed) {
+		t.Fatalf("Move to failed member: %v, want ErrHostFailed", err)
+	}
+	if stats := c.Stats(); len(stats) != 1 || stats[0].Name != "h1" {
+		t.Fatalf("Stats reports %v, want just h1", stats)
+	}
+	// New placements all land on the survivor.
+	if _, host, err := c.Place(toolstack.ModeChaosNoXS, "vm2", guest.Daytime()); err != nil || host != "h1" {
+		t.Fatalf("placement after failure: host %q, err %v", host, err)
+	}
+	// Failing the last live host leaves nowhere to place.
+	if _, err := c.FailHost("h1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Place(toolstack.ModeChaosNoXS, "vm3", guest.Daytime()); !errors.Is(err, ErrNoHosts) {
+		t.Fatalf("placement with all hosts dead: %v, want ErrNoHosts", err)
+	}
+}
+
+func TestFailoverReinstatesLostVMs(t *testing.T) {
+	c := failoverCluster(t)
+	for i := 0; i < 6; i++ {
+		if _, _, err := c.Place(toolstack.ModeChaosNoXS, fmt.Sprintf("vm%d", i), guest.Daytime()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lost, err := c.FailHost("h0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, recovered, err := c.Failover(lost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != len(lost) {
+		t.Fatalf("recovered %d of %d lost VMs", recovered, len(lost))
+	}
+	if d < costs.HostFailureDetect {
+		t.Fatalf("recovery time %v shorter than the detection delay %v", d, costs.HostFailureDetect)
+	}
+	if c.VMs() != 6 {
+		t.Fatalf("cluster tracks %d VMs after failover, want 6", c.VMs())
+	}
+	for _, l := range lost {
+		host, err := c.HostOf(l.Name)
+		if err != nil {
+			t.Fatalf("VM %q not re-placed: %v", l.Name, err)
+		}
+		if host != "h1" {
+			t.Fatalf("VM %q recovered onto %q, want survivor h1", l.Name, host)
+		}
+		h, err := c.Host(host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm, err := h.Env.VM(l.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vm.Booted {
+			t.Fatalf("recovered VM %q is not running", l.Name)
+		}
+	}
+}

@@ -78,8 +78,17 @@ const (
 	// XSTxnRetry is the penalty for one failed-and-retried transaction
 	// commit, on top of re-executing the writes (§4.2: overlapping
 	// transactions "resulting in failed transactions that need to be
-	// retried").
+	// retried"). It is also the base of the exponential retry backoff.
 	XSTxnRetry = 120 * time.Microsecond
+
+	// XSTxnBackoffMax caps the exponential transaction-retry backoff so
+	// a conflict storm cannot park a toolstack for seconds.
+	XSTxnBackoffMax = 2 * time.Millisecond
+
+	// XSStoreStall is the injected store-daemon freeze (fault plane):
+	// the latency a client sees when oxenstored hits a GC pause or
+	// fsync while its request is queued.
+	XSStoreStall = 5 * time.Millisecond
 
 	// XSWatchFire is the cost to deliver one watch event to a
 	// registered watcher (an event-channel kick plus queue handling).
@@ -315,6 +324,46 @@ const (
 	// MigrationRTT is the control-plane round-trip between source and
 	// destination (LAN).
 	MigrationRTT = 500 * time.Microsecond
+)
+
+// ---------------------------------------------------------------------------
+// Control-plane recovery (fault plane). The paper only exercises the
+// happy path; these constants price the recovery machinery §7.1's
+// churn scenario implies ("users enter and leave the cell
+// continuously").
+// ---------------------------------------------------------------------------
+
+const (
+	// DeviceHandshakeTimeout is how long a toolstack waits on the
+	// split-driver handshake before re-attaching the device (the watch
+	// timeout on the backend state node). Normal handshakes finish in
+	// ~1-2 ms, so one timeout means a genuinely lost event.
+	DeviceHandshakeTimeout = 50 * time.Millisecond
+
+	// DeviceReattach is the toolstack's work to re-announce a stalled
+	// device (reset the state nodes, re-kick the backend watch), on
+	// top of the store writes themselves.
+	DeviceReattach = 300 * time.Microsecond
+
+	// MigrationResumeSetup re-establishes a dropped migration TCP
+	// stream on the resumable (noxs) path: reconnect plus agreeing on
+	// the resume offset with the remote daemon.
+	MigrationResumeSetup = 3 * time.Millisecond
+
+	// MigrationRollback is the source-side cost of abandoning a
+	// migration: resume handshake with the suspended guest, on top of
+	// the destination teardown charged by its own operations.
+	MigrationRollback = 2 * time.Millisecond
+
+	// PoolDaemonRestart is the supervisor respawning a crashed chaos
+	// pool daemon (exec + config reload + registering flavors). Until
+	// it elapses, Take falls back to the cold inline-prepare path.
+	PoolDaemonRestart = 250 * time.Millisecond
+
+	// HostFailureDetect is the cluster's heartbeat timeout: how long
+	// until surviving hosts declare a silent member dead and start
+	// failover (§7.1's placement re-instantiates its VMs).
+	HostFailureDetect = 1500 * time.Millisecond
 )
 
 // ---------------------------------------------------------------------------

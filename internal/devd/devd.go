@@ -14,11 +14,16 @@
 package devd
 
 import (
+	"errors"
 	"fmt"
 
 	"lightvm/internal/costs"
 	"lightvm/internal/sim"
 )
+
+// ErrHotplug marks a hotplug setup or teardown failure; all errors
+// returned by the Hotplug implementations in this package wrap it.
+var ErrHotplug = errors.New("devd: hotplug failed")
 
 // PortAttacher is the bridge-facing half: the software switch (or a
 // test fake) implements it.
@@ -53,7 +58,7 @@ func (b *BashScripts) Setup(vif string) error {
 	b.Invocations++
 	b.Clock.Sleep(costs.HotplugBashScript + costs.VifBridgeAttach)
 	if err := b.Bridge.AttachPort(vif); err != nil {
-		return fmt.Errorf("devd: bash hotplug %s: %w", vif, err)
+		return fmt.Errorf("%w: bash hotplug %s: %v", ErrHotplug, vif, err)
 	}
 	return nil
 }
@@ -81,7 +86,7 @@ func (x *Xendevd) Setup(vif string) error {
 	x.Events++
 	x.Clock.Sleep(costs.HotplugXendevd + costs.VifBridgeAttach)
 	if err := x.Bridge.AttachPort(vif); err != nil {
-		return fmt.Errorf("devd: xendevd %s: %w", vif, err)
+		return fmt.Errorf("%w: xendevd %s: %v", ErrHotplug, vif, err)
 	}
 	return nil
 }
@@ -92,6 +97,37 @@ func (x *Xendevd) Teardown(vif string) error {
 	x.Clock.Sleep(costs.HotplugXendevd)
 	return x.Bridge.DetachPort(vif)
 }
+
+// Failover is a Hotplug that normally delegates to Primary but falls
+// back to Backup while Down reports the primary unavailable. It models
+// the recovery path when xendevd has crashed: udev events still arrive,
+// and the toolstack degrades to the stock bash scripts until the daemon
+// restarts.
+type Failover struct {
+	Primary Hotplug
+	Backup  Hotplug
+	// Down reports whether Primary is currently unavailable.
+	Down func() bool
+	// Fallbacks counts operations routed to Backup.
+	Fallbacks int
+}
+
+// Name implements Hotplug.
+func (f *Failover) Name() string { return f.Primary.Name() + "+failover" }
+
+func (f *Failover) pick() Hotplug {
+	if f.Down != nil && f.Down() {
+		f.Fallbacks++
+		return f.Backup
+	}
+	return f.Primary
+}
+
+// Setup implements Hotplug.
+func (f *Failover) Setup(vif string) error { return f.pick().Setup(vif) }
+
+// Teardown implements Hotplug.
+func (f *Failover) Teardown(vif string) error { return f.pick().Teardown(vif) }
 
 // NullBridge is a PortAttacher that accepts everything; used where the
 // experiment doesn't care about the data plane.

@@ -1,0 +1,237 @@
+// Package faults is the simulator's deterministic fault plane. The
+// paper's control planes — XenStore transactions, split-driver
+// handshakes, the chaos daemon pool, migration TCP streams — are real
+// distributed machinery, and §7.1's mobile-edge scenario depends on
+// hosts surviving churn; this package lets experiments inject the
+// failures those mechanisms must recover from, reproducibly.
+//
+// Every decision is a pure function of (seed, fault kind, per-kind
+// opportunity index): each injection site draws from its own stream,
+// so traffic at one site never perturbs another's sequence, and two
+// runs with the same seed inject byte-identical fault schedules. A nil
+// *Injector never fires and costs one pointer comparison, so the fault
+// plane is zero-cost when disabled.
+package faults
+
+import (
+	"fmt"
+
+	"lightvm/internal/sim"
+)
+
+// Kind enumerates the injectable fault classes and, implicitly, the
+// injection sites that consult them.
+type Kind int
+
+const (
+	// KindTxnConflict aborts a XenStore transaction commit with
+	// ErrAgain (site: xenstore.Tx.Commit). Recovery: bounded retry
+	// with exponential backoff + jitter in Store.Txn.
+	KindTxnConflict Kind = iota
+	// KindStoreStall freezes the store daemon for one operation
+	// (site: xenstore chargeOp). Recovery: none needed — the stall is
+	// pure latency, absorbed by the caller.
+	KindStoreStall
+	// KindHandshakeStall makes a xenbus backend drop a split-driver
+	// handshake event (site: xenbus.Backend watch). Recovery: the
+	// toolstack's watch timeout re-attaches the device; exhaustion
+	// surfaces xenbus.ErrDeviceTimeout.
+	KindHandshakeStall
+	// KindMigrationDrop severs the migration TCP stream mid-transfer
+	// (site: migrate.Migrate step 3). Recovery: resumable transfer on
+	// the noxs path; clean rollback (source resumes, destination shell
+	// reaped) on both paths.
+	KindMigrationDrop
+	// KindDaemonCrash kills the chaos pool daemon, losing its
+	// pre-created shells (site: toolstack.Pool). Recovery: drain
+	// detection, cold-path inline prepare, bash-hotplug failover while
+	// the daemon restarts.
+	KindDaemonCrash
+	// KindHostFailure fails a whole host (site: experiment driver over
+	// internal/cluster). Recovery: cluster failover re-instantiates
+	// the lost VMs on surviving hosts with §7.1's placement.
+	KindHostFailure
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	"txn-conflict", "store-stall", "handshake-stall",
+	"migration-drop", "daemon-crash", "host-failure",
+}
+
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// AllKinds lists every fault class (a Plan with no Kinds means all).
+func AllKinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Window bounds when a plan is active in virtual time. The zero value
+// is always active; To == 0 means open-ended.
+type Window struct {
+	From sim.Time
+	To   sim.Time
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t sim.Time) bool {
+	if t < w.From {
+		return false
+	}
+	return w.To == 0 || t <= w.To
+}
+
+// Plan describes an injection campaign: the per-opportunity fault
+// probability, which fault classes participate (empty = all), and the
+// virtual-time window in which injection is live.
+type Plan struct {
+	Rate   float64
+	Kinds  []Kind
+	Window Window
+}
+
+// mask folds Kinds to a bitmask (empty = everything).
+func (p Plan) mask() uint64 {
+	if len(p.Kinds) == 0 {
+		return 1<<numKinds - 1
+	}
+	var m uint64
+	for _, k := range p.Kinds {
+		if k >= 0 && k < numKinds {
+			m |= 1 << k
+		}
+	}
+	return m
+}
+
+// Injector makes deterministic fault decisions against a Plan. The
+// zero value and the nil pointer are both inert; construct live ones
+// with New.
+type Injector struct {
+	clock *sim.Clock
+	seed  uint64
+	plan  Plan
+	mask  uint64
+
+	// opportunities / injected count per kind; Fire consumes one
+	// opportunity per call whether or not it fires, keeping each
+	// site's decision sequence independent of every other site.
+	opportunities [numKinds]uint64
+	injected      [numKinds]uint64
+	aux           [numKinds]uint64 // side streams (jitter, fractions)
+}
+
+// New returns an injector for plan, keyed to clock and seed. Rates are
+// clamped to [0,1].
+func New(clock *sim.Clock, seed uint64, plan Plan) *Injector {
+	if plan.Rate < 0 {
+		plan.Rate = 0
+	}
+	if plan.Rate > 1 {
+		plan.Rate = 1
+	}
+	return &Injector{clock: clock, seed: seed, plan: plan, mask: plan.mask()}
+}
+
+// mix is a splitmix64-style finalizer: uncorrelated 64-bit outputs for
+// sequential inputs, which is all the decision streams need.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a stream position to a uniform float64 in [0,1).
+func (in *Injector) unit(k Kind, stream, n uint64) float64 {
+	h := mix(in.seed ^ mix(uint64(k)+stream<<32) ^ mix(n))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Fire reports whether the next opportunity at a site of kind k should
+// fault, consuming one position of k's decision stream. Nil injectors
+// never fire.
+func (in *Injector) Fire(k Kind) bool {
+	if in == nil || in.plan.Rate <= 0 || k < 0 || k >= numKinds {
+		return false
+	}
+	if in.mask&(1<<k) == 0 {
+		return false
+	}
+	n := in.opportunities[k]
+	in.opportunities[k]++
+	if !in.plan.Window.Contains(in.clock.Now()) {
+		return false
+	}
+	if in.unit(k, 0, n) < in.plan.Rate {
+		in.injected[k]++
+		return true
+	}
+	return false
+}
+
+// Jitter returns a deterministic duration in [0, max) from k's side
+// stream — backoff randomization that stays reproducible per seed.
+// Nil injectors return 0, so undisturbed runs stay byte-identical.
+func (in *Injector) Jitter(k Kind, max sim.Duration) sim.Duration {
+	if in == nil || max <= 0 {
+		return 0
+	}
+	n := in.aux[k]
+	in.aux[k]++
+	return sim.Duration(in.unit(k, 1, n) * float64(max))
+}
+
+// Fraction returns a deterministic value in [0,1) from k's side stream
+// (e.g. how far into a transfer a stream drop lands). Nil injectors
+// return 0.
+func (in *Injector) Fraction(k Kind) float64 {
+	if in == nil {
+		return 0
+	}
+	n := in.aux[k]
+	in.aux[k]++
+	return in.unit(k, 1, n)
+}
+
+// Injected reports how many faults of kind k have fired.
+func (in *Injector) Injected(k Kind) uint64 {
+	if in == nil || k < 0 || k >= numKinds {
+		return 0
+	}
+	return in.injected[k]
+}
+
+// TotalInjected sums fired faults across all kinds.
+func (in *Injector) TotalInjected() uint64 {
+	if in == nil {
+		return 0
+	}
+	var t uint64
+	for _, v := range in.injected {
+		t += v
+	}
+	return t
+}
+
+// Opportunities reports how many decisions kind k has consumed
+// (diagnostics: injected/opportunities ≈ Rate over long runs).
+func (in *Injector) Opportunities(k Kind) uint64 {
+	if in == nil || k < 0 || k >= numKinds {
+		return 0
+	}
+	return in.opportunities[k]
+}

@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"lightvm/internal/sim"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	for _, k := range AllKinds() {
+		if in.Fire(k) {
+			t.Fatalf("nil injector fired %v", k)
+		}
+	}
+	if in.Jitter(KindTxnConflict, time.Second) != 0 {
+		t.Fatal("nil injector produced jitter")
+	}
+	if in.Fraction(KindMigrationDrop) != 0 {
+		t.Fatal("nil injector produced a fraction")
+	}
+	if in.TotalInjected() != 0 || in.Injected(KindStoreStall) != 0 {
+		t.Fatal("nil injector counted injections")
+	}
+}
+
+func TestZeroRateNeverFires(t *testing.T) {
+	in := New(sim.NewClock(), 7, Plan{Rate: 0})
+	for i := 0; i < 10000; i++ {
+		if in.Fire(KindTxnConflict) {
+			t.Fatal("rate-0 plan fired")
+		}
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		in := New(sim.NewClock(), seed, Plan{Rate: 0.25})
+		out := make([]bool, 0, 4000)
+		for i := 0; i < 1000; i++ {
+			for _, k := range AllKinds() {
+				out = append(out, in.Fire(k))
+			}
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestStreamsAreIndependentAcrossSites(t *testing.T) {
+	// Interleaving traffic at one site must not change another site's
+	// decision sequence — that is what keeps multi-site experiments
+	// reproducible when per-site op counts shift.
+	draws := func(noise int) []bool {
+		in := New(sim.NewClock(), 9, Plan{Rate: 0.5})
+		out := make([]bool, 0, 200)
+		for i := 0; i < 200; i++ {
+			for j := 0; j < noise; j++ {
+				in.Fire(KindStoreStall) // unrelated site traffic
+			}
+			out = append(out, in.Fire(KindMigrationDrop))
+		}
+		return out
+	}
+	a, b := draws(0), draws(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cross-site traffic perturbed decision %d", i)
+		}
+	}
+}
+
+func TestRateConverges(t *testing.T) {
+	in := New(sim.NewClock(), 11, Plan{Rate: 0.3})
+	const n = 20000
+	fired := 0
+	for i := 0; i < n; i++ {
+		if in.Fire(KindHandshakeStall) {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if got < 0.27 || got > 0.33 {
+		t.Fatalf("empirical rate %.3f far from plan rate 0.3", got)
+	}
+	if in.Injected(KindHandshakeStall) != uint64(fired) {
+		t.Fatal("injected counter disagrees with observed fires")
+	}
+	if in.Opportunities(KindHandshakeStall) != n {
+		t.Fatal("opportunity counter wrong")
+	}
+}
+
+func TestWindowGatesInjection(t *testing.T) {
+	clock := sim.NewClock()
+	in := New(clock, 3, Plan{
+		Rate:   1.0,
+		Window: Window{From: sim.Time(0).Add(time.Second), To: sim.Time(0).Add(2 * time.Second)},
+	})
+	if in.Fire(KindDaemonCrash) {
+		t.Fatal("fired before window opened")
+	}
+	clock.Sleep(time.Second)
+	if !in.Fire(KindDaemonCrash) {
+		t.Fatal("rate-1 plan silent inside window")
+	}
+	clock.Sleep(5 * time.Second)
+	if in.Fire(KindDaemonCrash) {
+		t.Fatal("fired after window closed")
+	}
+}
+
+func TestKindMaskRestrictsFiring(t *testing.T) {
+	in := New(sim.NewClock(), 5, Plan{Rate: 1.0, Kinds: []Kind{KindMigrationDrop}})
+	if in.Fire(KindTxnConflict) || in.Fire(KindHostFailure) {
+		t.Fatal("masked-out kind fired")
+	}
+	if !in.Fire(KindMigrationDrop) {
+		t.Fatal("selected kind silent at rate 1")
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	a := New(sim.NewClock(), 17, Plan{Rate: 1})
+	b := New(sim.NewClock(), 17, Plan{Rate: 1})
+	for i := 0; i < 1000; i++ {
+		ja := a.Jitter(KindTxnConflict, time.Millisecond)
+		jb := b.Jitter(KindTxnConflict, time.Millisecond)
+		if ja != jb {
+			t.Fatalf("jitter diverged at draw %d", i)
+		}
+		if ja < 0 || ja >= time.Millisecond {
+			t.Fatalf("jitter %v out of [0, 1ms)", ja)
+		}
+	}
+}

@@ -16,15 +16,33 @@ package migrate
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"path"
 	"time"
 
 	"lightvm/internal/costs"
+	"lightvm/internal/faults"
 	"lightvm/internal/guest"
 	"lightvm/internal/hv"
 	"lightvm/internal/toolstack"
 	"lightvm/internal/xenbus"
 )
+
+// Errors.
+var (
+	// ErrBadCheckpoint marks a checkpoint whose blob fails to decode or
+	// whose descriptor disagrees with its envelope (corruption or
+	// truncation in storage/transit).
+	ErrBadCheckpoint = errors.New("migrate: bad checkpoint")
+	// ErrMigrationAborted marks a migration that was rolled back: the
+	// source VM is running again and the destination shell was reaped.
+	ErrMigrationAborted = errors.New("migrate: migration aborted")
+)
+
+// migrationRetries bounds stream-resume attempts on the noxs path
+// before a migration gives up and rolls back.
+const migrationRetries = 3
 
 // Checkpoint is a saved guest.
 type Checkpoint struct {
@@ -70,7 +88,7 @@ func encode(vm *toolstack.VM) ([]byte, error) {
 func decode(blob []byte) (descriptor, error) {
 	var d descriptor
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&d); err != nil {
-		return d, fmt.Errorf("migrate: decode: %w", err)
+		return d, fmt.Errorf("%w: decode: %v", ErrBadCheckpoint, err)
 	}
 	return d, nil
 }
@@ -163,7 +181,7 @@ func Restore(e *toolstack.Env, cp *Checkpoint) (*toolstack.VM, time.Duration, er
 		return nil, 0, err
 	}
 	if desc.Name != cp.Name || desc.MemBytes != cp.MemBytes {
-		return nil, 0, fmt.Errorf("migrate: checkpoint descriptor mismatch for %q", cp.Name)
+		return nil, 0, fmt.Errorf("%w: descriptor mismatch for %q", ErrBadCheckpoint, cp.Name)
 	}
 	vm := &toolstack.VM{Name: cp.Name, Image: cp.Image, Mode: cp.Mode, Core: e.Sched.Place()}
 	if err := e.Register(vm); err != nil {
@@ -300,10 +318,31 @@ func Migrate(src, dst *toolstack.Env, vm *toolstack.VM) (*toolstack.VM, time.Dur
 		return nil, 0, susErr
 	}
 
-	// 3. Stream the guest pages over the wire (libxc code path).
+	// 3. Stream the guest pages over the wire (libxc code path). An
+	// injected stream drop charges the partial transfer already sent;
+	// chaos's migration daemon (noxs path) resumes from the last
+	// acknowledged chunk, while the xl stream has no resume protocol —
+	// a drop there, or exhausting the resume budget, rolls the
+	// migration back: destination shell reaped, source VM resumed.
 	mb := float64(vm.Image.MemBytes) / (1 << 20)
 	wire := time.Duration(mb / costs.MigrationWireMBps * float64(time.Second))
-	src.Clock.Sleep(wire + costs.MigrationRTT)
+	remaining := wire
+	for attempt := 0; ; attempt++ {
+		if src.Faults.Fire(faults.KindMigrationDrop) {
+			part := time.Duration(float64(remaining) * src.Faults.Fraction(faults.KindMigrationDrop))
+			src.Clock.Sleep(part + costs.MigrationRTT)
+			if vm.Mode.UsesStore() || attempt >= migrationRetries {
+				rollback(src, dst, vm, newVM)
+				return nil, 0, fmt.Errorf("%w: %q: stream dropped on attempt %d",
+					ErrMigrationAborted, vm.Name, attempt+1)
+			}
+			remaining -= part
+			src.Clock.Sleep(costs.MigrationResumeSetup + costs.MigrationRTT)
+			continue
+		}
+		src.Clock.Sleep(remaining + costs.MigrationRTT)
+		break
+	}
 
 	// 4. Resume on the target.
 	newVM.Dom.State = hv.StateSuspended
@@ -338,6 +377,44 @@ func Migrate(src, dst *toolstack.Env, vm *toolstack.VM) (*toolstack.VM, time.Dur
 	return newVM, migTime, nil
 }
 
+// rollback aborts a migration after the destination was pre-created:
+// the destination's shell (devices, store subtree, domain) is reaped
+// and the suspended source guest is resumed in place — its scheduler
+// load and frontends were never unregistered, so one unpause brings it
+// back.
+func rollback(src, dst *toolstack.Env, vm, newVM *toolstack.VM) {
+	dst.RunDom0(func() {
+		if newVM.Mode.UsesStore() {
+			for i, dev := range newVM.Image.Devices {
+				switch dev.Kind {
+				case hv.DevVif:
+					dst.BackVif.Teardown(newVM.Dom.ID, i)
+				case hv.DevVbd:
+					dst.BackVbd.Teardown(newVM.Dom.ID, i)
+				case hv.DevConsole:
+					dst.BackConsole.Teardown(newVM.Dom.ID, i)
+				}
+				xenbus.RemoveDeviceEntries(dst.Store, newVM.Dom.ID, dev.Kind, i)
+			}
+			// Also reap the per-domain backend parents, so the store is
+			// exactly as it was before the aborted pre-creation.
+			for i, dev := range newVM.Image.Devices {
+				_ = dst.Store.Rm(path.Dir(xenbus.BackendPath(newVM.Dom.ID, dev.Kind, i)))
+			}
+			_ = dst.Store.Rm(fmt.Sprintf("/local/domain/%d", newVM.Dom.ID))
+		} else {
+			dst.Noxs.DestroyAll(newVM.Dom.ID)
+		}
+		_ = dst.HV.DestroyDomain(newVM.Dom.ID)
+	})
+	dst.Forget(newVM)
+	src.RunDom0(func() {
+		src.Clock.Sleep(costs.MigrationRollback)
+		_ = src.HV.Unpause(vm.Dom.ID)
+	})
+	src.Trace.Emit("migrate", "rollback", vm.Name, "mode="+vm.Mode.String(), 0)
+}
+
 // writeStoreDevice writes the device's store entries and completes the
 // backend handshake on the restore path.
 func writeStoreDevice(e *toolstack.Env, vm *toolstack.VM, idx int, kind hv.DevKind, mac string) error {
@@ -366,7 +443,7 @@ func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
 		return nil, err
 	}
 	if d.Name != cp.Name || d.MemBytes != cp.MemBytes {
-		return nil, fmt.Errorf("migrate: checkpoint %q fails integrity check", cp.Name)
+		return nil, fmt.Errorf("%w: %q fails integrity check", ErrBadCheckpoint, cp.Name)
 	}
 	return &cp, nil
 }

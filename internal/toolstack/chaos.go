@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lightvm/internal/costs"
+	"lightvm/internal/devd"
 	"lightvm/internal/guest"
 	"lightvm/internal/hv"
 	"lightvm/internal/xenbus"
@@ -26,7 +27,14 @@ func NewChaos(env *Env, mode Mode) *Chaos {
 	if mode == ModeXL {
 		panic("toolstack: NewChaos with ModeXL")
 	}
-	env.SetVifHotplug(env.Xendevd)
+	if env.Faults != nil {
+		// Under the fault plane, vif setup degrades to bash scripts
+		// while the pool daemon is down (SetFaults installs the same
+		// shim if the injector is attached after the driver).
+		env.SetVifHotplug(&devd.Failover{Primary: env.Xendevd, Backup: env.Bash, Down: env.Pool.DaemonDown})
+	} else {
+		env.SetVifHotplug(env.Xendevd)
+	}
 	return &Chaos{env: env, mode: mode}
 }
 

@@ -14,6 +14,7 @@ import (
 	"lightvm/internal/console"
 	"lightvm/internal/costs"
 	"lightvm/internal/devd"
+	"lightvm/internal/faults"
 	"lightvm/internal/guest"
 	"lightvm/internal/hv"
 	"lightvm/internal/noxs"
@@ -60,6 +61,8 @@ func (m Mode) UsesSplit() bool { return m == ModeChaosSplit || m == ModeLightVM 
 var (
 	ErrDuplicateName = errors.New("toolstack: duplicate VM name")
 	ErrUnknownVM     = errors.New("toolstack: unknown VM")
+	ErrAlreadyPaused = errors.New("toolstack: VM already paused")
+	ErrNotPaused     = errors.New("toolstack: VM not paused")
 )
 
 // Breakdown attributes creation time to the Fig. 5 categories.
@@ -122,6 +125,12 @@ type Env struct {
 	// pool instead of private memory.
 	MemDedup bool
 
+	// Faults, when non-nil, is the deterministic fault plane driving
+	// this Dom0's injection sites (store conflicts/stalls, handshake
+	// drops, pool-daemon crashes). Attach it with SetFaults; a nil
+	// injector is inert and costs nothing.
+	Faults *faults.Injector
+
 	// Trace, when non-nil, records control-plane operations (the
 	// chaos CLI's -trace flag; a nil log costs nothing).
 	Trace *trace.Log
@@ -164,6 +173,18 @@ func NewEnv(clock *sim.Clock, machine sched.Machine) *Env {
 
 // SetVifHotplug selects the hotplug mechanism for vif setup.
 func (e *Env) SetVifHotplug(hp devd.Hotplug) { e.BackVif.Hotplug = hp }
+
+// SetFaults attaches a fault injector to the environment and its
+// store. If the vif hotplug path is currently xendevd, it gains a
+// failover shim: while the pool daemon is down after a crash, vif
+// setup degrades to the stock bash scripts until the daemon restarts.
+func (e *Env) SetFaults(in *faults.Injector) {
+	e.Faults = in
+	e.Store.Faults = in
+	if hp, ok := e.BackVif.Hotplug.(*devd.Xendevd); in != nil && ok && hp == e.Xendevd {
+		e.SetVifHotplug(&devd.Failover{Primary: e.Xendevd, Backup: e.Bash, Down: e.Pool.DaemonDown})
+	}
+}
 
 // VM looks up a guest by name.
 func (e *Env) VM(name string) (*VM, error) {
@@ -275,7 +296,7 @@ func (e *Env) forget(vm *VM) { delete(e.vms, vm.Name) }
 // load disappears from the host.
 func (e *Env) PauseVM(vm *VM) error {
 	if vm.Paused {
-		return fmt.Errorf("toolstack: VM %q already paused", vm.Name)
+		return fmt.Errorf("%w: %q", ErrAlreadyPaused, vm.Name)
 	}
 	if err := e.HV.Pause(vm.Dom.ID); err != nil {
 		return err
@@ -293,7 +314,7 @@ func (e *Env) PauseVM(vm *VM) error {
 // takes it back — no boot, no device renegotiation.
 func (e *Env) UnpauseVM(vm *VM) error {
 	if !vm.Paused {
-		return fmt.Errorf("toolstack: VM %q is not paused", vm.Name)
+		return fmt.Errorf("%w: %q", ErrNotPaused, vm.Name)
 	}
 	if err := e.HV.Unpause(vm.Dom.ID); err != nil {
 		return err

@@ -2,11 +2,14 @@ package toolstack
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"lightvm/internal/costs"
+	"lightvm/internal/faults"
 	"lightvm/internal/guest"
 	"lightvm/internal/hv"
+	"lightvm/internal/sim"
 	"lightvm/internal/xenbus"
 	"lightvm/internal/xenstore"
 )
@@ -56,6 +59,7 @@ type PoolStats struct {
 	Prepared int // shells built by the daemon
 	Taken    int // shells handed to the execute phase
 	Misses   int // Take calls that found the pool empty
+	Crashes  int // injected daemon crashes (pool drained each time)
 }
 
 // Pool is the chaos daemon's shell pool: "the daemon ensures that
@@ -69,6 +73,11 @@ type Pool struct {
 	shells  map[string][]*Shell
 	flavors map[string]Flavor
 	Stats   PoolStats
+
+	// downUntil is when the restarted daemon comes back after an
+	// injected crash; until then Take misses and Replenish is a no-op,
+	// so creations fall back to the inline (cold) prepare path.
+	downUntil sim.Time
 }
 
 // NewPool creates an empty pool with a default target depth of 8.
@@ -82,12 +91,68 @@ func (p *Pool) SetTarget(n int) { p.target = n }
 // Available reports ready shells for a flavor.
 func (p *Pool) Available(f Flavor) int { return len(p.shells[f.key()]) }
 
+// DaemonDown reports whether the pool daemon is currently dead (an
+// injected crash whose restart window has not elapsed yet).
+func (p *Pool) DaemonDown() bool { return p.env.Clock.Now() < p.downUntil }
+
+// crash models the chaos daemon dying: its in-memory shell bookkeeping
+// is lost, so the restarted daemon reaps every orphaned shell, and the
+// pool stays empty until the restart completes. Flavors are reaped in
+// sorted key order to keep the reap schedule deterministic.
+func (p *Pool) crash() {
+	e := p.env
+	keys := make([]string, 0, len(p.shells))
+	for k := range p.shells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, s := range p.shells[k] {
+			p.reap(s)
+		}
+		delete(p.shells, k)
+	}
+	p.Stats.Crashes++
+	p.downUntil = e.Clock.Now().Add(costs.PoolDaemonRestart)
+	e.Trace.Emit("pool", "crash", "", "", 0)
+}
+
+// reap tears down one orphaned shell: device state (store or noxs) and
+// the pre-created domain.
+func (p *Pool) reap(s *Shell) {
+	e := p.env
+	if s.Flavor.Store {
+		for i, dev := range s.Flavor.Devices {
+			switch dev.Kind {
+			case hv.DevVif:
+				e.BackVif.Teardown(s.Dom.ID, i)
+			case hv.DevVbd:
+				e.BackVbd.Teardown(s.Dom.ID, i)
+			case hv.DevConsole:
+				e.BackConsole.Teardown(s.Dom.ID, i)
+			}
+			xenbus.RemoveDeviceEntries(e.Store, s.Dom.ID, dev.Kind, i)
+		}
+	} else {
+		e.Noxs.DestroyAll(s.Dom.ID)
+	}
+	_ = e.HV.DestroyDomain(s.Dom.ID)
+}
+
 // Take removes one shell for flavor, or returns nil on a pool miss
 // (the caller then prepares inline, paying the full cost). The flavor
 // is remembered so Replenish keeps it stocked.
 func (p *Pool) Take(f Flavor) *Shell {
 	k := f.key()
 	p.flavors[k] = f
+	if p.env.Faults.Fire(faults.KindDaemonCrash) {
+		p.crash()
+	}
+	if p.DaemonDown() {
+		p.Stats.Misses++
+		p.env.Trace.Emit("pool", "miss", k, "daemon-down", 0)
+		return nil
+	}
 	q := p.shells[k]
 	if len(q) == 0 {
 		p.Stats.Misses++
@@ -102,8 +167,12 @@ func (p *Pool) Take(f Flavor) *Shell {
 }
 
 // Replenish tops every known flavor up to the target depth, charging
-// the prepare work to the current (background) time.
+// the prepare work to the current (background) time. While the daemon
+// is down after a crash there is nobody to do the work.
 func (p *Pool) Replenish() error {
+	if p.DaemonDown() {
+		return nil
+	}
 	for k, f := range p.flavors {
 		for len(p.shells[k]) < p.target {
 			s, err := p.Prepare(f)

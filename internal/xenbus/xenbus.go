@@ -9,15 +9,31 @@
 package xenbus
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
 
 	"lightvm/internal/costs"
 	"lightvm/internal/devd"
+	"lightvm/internal/faults"
 	"lightvm/internal/hv"
 	"lightvm/internal/sim"
 	"lightvm/internal/xenstore"
+)
+
+// Errors.
+var (
+	// ErrDeviceTimeout is the degradation terminus of the split-driver
+	// handshake: the backend never reached InitWait despite the
+	// toolstack's re-attach attempts.
+	ErrDeviceTimeout = errors.New("xenbus: device handshake timed out")
+	// ErrBadEntry marks a malformed store entry (unparsable
+	// event-channel or grant-ref) on the frontend connect path.
+	ErrBadEntry = errors.New("xenbus: malformed store entry")
+	// ErrBackendGone marks a backend whose store state vanished while
+	// the handshake was in flight.
+	ErrBackendGone = errors.New("xenbus: backend state vanished")
 )
 
 // XenbusState values, as written to the store's state nodes.
@@ -77,6 +93,9 @@ type Backend struct {
 
 	// DevicesSetUp counts completed device initializations.
 	DevicesSetUp int
+	// StallsInjected counts handshake announcements the fault plane
+	// made this backend drop (the toolstack recovers via re-attach).
+	StallsInjected int
 }
 
 // NewBackend registers a backend for kind: it places the watch on
@@ -97,6 +116,13 @@ func (b *Backend) onWatch(path, _ string) {
 	}
 	v, err := b.Store.Read(path)
 	if err != nil || v != strconv.Itoa(StateInitialising) {
+		return
+	}
+	if b.Store.Faults.Fire(faults.KindHandshakeStall) {
+		// The backend kthread loses the announcement (a missed watch
+		// event): nothing is scheduled, and the device sits in
+		// Initialising until the toolstack's watch timeout re-attaches.
+		b.StallsInjected++
 		return
 	}
 	dir := path[:len(path)-6]
@@ -184,21 +210,41 @@ func WriteDeviceEntries(tx *xenstore.Tx, req DeviceReq) {
 	tx.Write(be+"/state", strconv.Itoa(StateInitialising))
 }
 
+// handshakeAttempts bounds how many times the toolstack re-announces a
+// device whose backend never answered before giving up with
+// ErrDeviceTimeout.
+const handshakeAttempts = 3
+
 // WaitBackendReady polls the backend state until it reaches at least
 // InitWait, sleeping between polls (this is where xl blocks while
-// hotplug scripts run). It returns an error after too many polls.
+// hotplug scripts run). If the backend stays silent for a full
+// costs.DeviceHandshakeTimeout window — a lost watch event — the
+// toolstack re-attaches: it rewrites the state node to Initialising,
+// which re-fires the backend's watch and restarts setup. After
+// handshakeAttempts silent windows it degrades to ErrDeviceTimeout.
 func WaitBackendReady(s *xenstore.Store, clock *sim.Clock, dom hv.DomID, kind hv.DevKind, idx int) error {
 	path := BackendPath(dom, kind, idx) + "/state"
-	for i := 0; i < 10000; i++ {
-		v, err := s.Read(path)
-		if err == nil {
-			if st, err := strconv.Atoi(v); err == nil && st >= StateInitWait {
-				return nil
+	for attempt := 0; attempt < handshakeAttempts; attempt++ {
+		deadline := clock.Now().Add(costs.DeviceHandshakeTimeout)
+		for {
+			v, err := s.Read(path)
+			if err == nil {
+				if st, err := strconv.Atoi(v); err == nil && st >= StateInitWait {
+					return nil
+				}
 			}
+			if clock.Now() >= deadline {
+				break
+			}
+			clock.Sleep(200 * time.Microsecond) // poll interval
 		}
-		clock.Sleep(200 * time.Microsecond) // poll interval
+		if attempt < handshakeAttempts-1 {
+			clock.Sleep(costs.DeviceReattach)
+			s.Write(path, strconv.Itoa(StateInitialising))
+		}
 	}
-	return fmt.Errorf("xenbus: backend %s/%d for domain %d never became ready", kindName(kind), idx, dom)
+	return fmt.Errorf("%w: backend %s/%d for domain %d silent across %d attempts",
+		ErrDeviceTimeout, kindName(kind), idx, dom, handshakeAttempts)
 }
 
 // ConnectFrontend is the guest half (steps 3–4 of Fig. 7a), run when
@@ -209,19 +255,19 @@ func ConnectFrontend(s *xenstore.Store, h *hv.Hypervisor, dom hv.DomID, kind hv.
 	be := BackendPath(dom, kind, idx)
 	portStr, err := s.Read(be + "/event-channel")
 	if err != nil {
-		return fmt.Errorf("xenbus: frontend %v/%d dom %d: %w", kind, idx, dom, err)
+		return fmt.Errorf("%w: frontend %s/%d dom %d: %v", ErrBackendGone, kindName(kind), idx, dom, err)
 	}
 	refStr, err := s.Read(be + "/grant-ref")
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: frontend %s/%d dom %d: %v", ErrBackendGone, kindName(kind), idx, dom, err)
 	}
 	port, err := strconv.Atoi(portStr)
 	if err != nil {
-		return fmt.Errorf("xenbus: bad event-channel %q: %v", portStr, err)
+		return fmt.Errorf("%w: bad event-channel %q: %v", ErrBadEntry, portStr, err)
 	}
 	ref, err := strconv.Atoi(refStr)
 	if err != nil {
-		return fmt.Errorf("xenbus: bad grant-ref %q: %v", refStr, err)
+		return fmt.Errorf("%w: bad grant-ref %q: %v", ErrBadEntry, refStr, err)
 	}
 	if err := h.BindPort(hv.Port(port), dom, func() {}); err != nil {
 		return err

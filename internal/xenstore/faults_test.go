@@ -1,0 +1,108 @@
+package xenstore
+
+import (
+	"errors"
+	"testing"
+
+	"lightvm/internal/costs"
+	"lightvm/internal/faults"
+	"lightvm/internal/sim"
+)
+
+// conflictStore returns a store whose every commit is forced to
+// conflict by the fault plane.
+func conflictStore() (*Store, *sim.Clock) {
+	clock := sim.NewClock()
+	s := New(clock)
+	s.Faults = faults.New(clock, 1, faults.Plan{Rate: 1, Kinds: []faults.Kind{faults.KindTxnConflict}})
+	return s, clock
+}
+
+func TestTxnRetryExhaustionIsTyped(t *testing.T) {
+	s, _ := conflictStore()
+	err := s.Txn(3, func(tx *Tx) error {
+		tx.Write("/a", "1")
+		return nil
+	})
+	if err == nil {
+		t.Fatal("forced-conflict txn succeeded")
+	}
+	if !errors.Is(err, ErrTxnRetriesExhausted) {
+		t.Fatalf("error %v is not ErrTxnRetriesExhausted", err)
+	}
+	if !errors.Is(err, ErrAgain) {
+		t.Fatalf("error %v does not wrap ErrAgain", err)
+	}
+	// 1 initial attempt + 3 retries, all rejected.
+	if s.Count.InjectedConflicts != 4 {
+		t.Fatalf("got %d injected conflicts, want 4", s.Count.InjectedConflicts)
+	}
+	if s.Count.TxnCommits != 0 {
+		t.Fatal("a forced-conflict commit was applied")
+	}
+}
+
+func TestTxnRetryBackoffGrowsAndIsCapped(t *testing.T) {
+	// Attempt 0 must cost exactly the old flat penalty (undisturbed
+	// runs stay byte-identical); later attempts double up to the cap.
+	if got := txnBackoff(0); got != costs.XSTxnRetry {
+		t.Fatalf("attempt-0 backoff %v, want %v", got, costs.XSTxnRetry)
+	}
+	if got := txnBackoff(1); got != 2*costs.XSTxnRetry {
+		t.Fatalf("attempt-1 backoff %v, want %v", got, 2*costs.XSTxnRetry)
+	}
+	if got := txnBackoff(50); got != costs.XSTxnBackoffMax {
+		t.Fatalf("deep backoff %v, want cap %v", got, costs.XSTxnBackoffMax)
+	}
+	prev := txnBackoff(0)
+	for i := 1; i < 12; i++ {
+		cur := txnBackoff(i)
+		if cur < prev {
+			t.Fatalf("backoff shrank at attempt %d: %v < %v", i, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestTxnRecoversWhenConflictsStop(t *testing.T) {
+	clock := sim.NewClock()
+	s := New(clock)
+	// Conflicts only inside a window that closes before the retries
+	// finish: the txn must eventually commit. The window must be wide
+	// enough for the first attempt's charged ops (begin + write) to
+	// reach commit inside it, but close during the backoff sleeps
+	// (120 µs, 240 µs, ...) so a later retry lands clean.
+	s.Faults = faults.New(clock, 2, faults.Plan{
+		Rate:   1,
+		Kinds:  []faults.Kind{faults.KindTxnConflict},
+		Window: faults.Window{To: clock.Now().Add(2 * costs.XSTxnRetry)},
+	})
+	err := s.Txn(8, func(tx *Tx) error {
+		tx.Write("/b", "2")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("txn did not recover after conflict window closed: %v", err)
+	}
+	if s.Count.InjectedConflicts == 0 {
+		t.Fatal("no conflict was injected before the window closed")
+	}
+	if v, rerr := s.Read("/b"); rerr != nil || v != "2" {
+		t.Fatalf("committed value lost: %q, %v", v, rerr)
+	}
+}
+
+func TestStoreStallChargesAndCounts(t *testing.T) {
+	clock := sim.NewClock()
+	s := New(clock)
+	s.Faults = faults.New(clock, 3, faults.Plan{Rate: 1, Kinds: []faults.Kind{faults.KindStoreStall}})
+	before := clock.Now()
+	s.Write("/stalled", "x")
+	elapsed := clock.Now().Sub(before)
+	if s.Count.Stalls == 0 {
+		t.Fatal("stall not counted")
+	}
+	if elapsed < costs.XSStoreStall {
+		t.Fatalf("stalled op took %v, want at least %v", elapsed, costs.XSStoreStall)
+	}
+}

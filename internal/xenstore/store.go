@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"lightvm/internal/costs"
+	"lightvm/internal/faults"
 	"lightvm/internal/sim"
 )
 
@@ -32,6 +33,10 @@ var (
 	ErrAgain  = errors.New("xenstore: transaction conflict, retry")
 	ErrBadTxn = errors.New("xenstore: no such transaction")
 	ErrExists = errors.New("xenstore: node exists")
+	// ErrTxnRetriesExhausted is returned by Store.Txn when a body keeps
+	// conflicting past its retry budget; it wraps ErrAgain, so callers
+	// can match either the exhaustion or the underlying conflict.
+	ErrTxnRetriesExhausted = errors.New("xenstore: transaction retries exhausted")
 )
 
 // Counters aggregates store activity for tests and Fig. 5 attribution.
@@ -47,6 +52,11 @@ type Counters struct {
 	LogLines     uint64
 	LogRotations uint64
 	UniqScans    uint64
+	// Stalls counts injected store-daemon freezes (fault plane).
+	Stalls uint64
+	// InjectedConflicts counts commits aborted by the fault plane
+	// (a subset of TxnConflicts).
+	InjectedConflicts uint64
 }
 
 type node struct {
@@ -86,6 +96,11 @@ type Store struct {
 	// each op pays Connections × costs.XSPerConnection. The toolstack
 	// maintains this count as guests come and go.
 	Connections int
+
+	// Faults, when non-nil, lets the fault plane stall operations and
+	// abort transaction commits (faults.KindStoreStall /
+	// faults.KindTxnConflict). Nil costs one pointer check per op.
+	Faults *faults.Injector
 
 	// variant selects oxenstored (default) or the slower cxenstored.
 	variant Variant
@@ -155,6 +170,12 @@ func (s *Store) chargeOp(nodesTouched int) {
 		sim.Duration(nodesTouched)*costs.XSPerNodeTouch +
 		sim.Duration(s.Connections)*costs.XSPerConnection
 	d += s.variantExtra(costs.XSProcess + sim.Duration(nodesTouched)*costs.XSPerNodeTouch)
+	if s.Faults.Fire(faults.KindStoreStall) {
+		// The store daemon freezes (GC pause, log fsync, scheduling
+		// gap): the requesting client simply sees a slow reply.
+		s.Count.Stalls++
+		d += costs.XSStoreStall
+	}
 	s.clock.Sleep(d)
 	s.logAccess()
 }

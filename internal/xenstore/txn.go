@@ -1,11 +1,14 @@
 package xenstore
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"lightvm/internal/costs"
+	"lightvm/internal/faults"
 )
 
 // TxnID identifies an open transaction.
@@ -153,6 +156,16 @@ func (tx *Tx) Commit() error {
 	if _, ok := s.txns[t.id]; !ok {
 		return ErrBadTxn
 	}
+	if s.Faults.Fire(faults.KindTxnConflict) {
+		// An overlapping committer got in first (§4.2's failure mode,
+		// forced): the daemon rejects the commit exactly as it would a
+		// genuine generation mismatch.
+		s.chargeOp(1)
+		s.Count.TxnConflicts++
+		s.Count.InjectedConflicts++
+		delete(s.txns, t.id)
+		return ErrAgain
+	}
 	// Validation: every read must still be at the observed generation,
 	// and every written path must not have been modified since start.
 	touched := 0
@@ -200,8 +213,12 @@ func (tx *Tx) Commit() error {
 }
 
 // Txn runs body in a transaction, retrying on ErrAgain up to
-// maxRetries times. Each retry charges the paper's retry penalty and
-// re-executes body against fresh state.
+// maxRetries times. Backoff between attempts is exponential — the
+// paper's retry penalty doubling per attempt, capped at
+// costs.XSTxnBackoffMax — plus deterministic jitter from the fault
+// plane when one is attached (nil injectors add nothing, so
+// undisturbed runs are byte-identical). Exhausting the budget returns
+// ErrTxnRetriesExhausted (wrapping ErrAgain).
 func (s *Store) Txn(maxRetries int, body func(tx *Tx) error) error {
 	for attempt := 0; ; attempt++ {
 		tx := s.TxnStart()
@@ -213,9 +230,27 @@ func (s *Store) Txn(maxRetries int, body func(tx *Tx) error) error {
 		if err == nil {
 			return nil
 		}
-		if err != ErrAgain || attempt >= maxRetries {
+		if !errors.Is(err, ErrAgain) {
 			return err
 		}
-		s.clock.Sleep(costs.XSTxnRetry)
+		if attempt >= maxRetries {
+			return fmt.Errorf("%w: gave up after %d attempts: %w",
+				ErrTxnRetriesExhausted, attempt+1, err)
+		}
+		s.clock.Sleep(txnBackoff(attempt) + s.Faults.Jitter(faults.KindTxnConflict, costs.XSTxnRetry))
 	}
+}
+
+// txnBackoff is the delay before retry attempt+1: the base penalty
+// doubled per failed attempt, capped so a deep conflict storm cannot
+// park a toolstack for seconds.
+func txnBackoff(attempt int) time.Duration {
+	d := costs.XSTxnRetry
+	for i := 0; i < attempt && d < costs.XSTxnBackoffMax; i++ {
+		d *= 2
+	}
+	if d > costs.XSTxnBackoffMax {
+		d = costs.XSTxnBackoffMax
+	}
+	return d
 }
