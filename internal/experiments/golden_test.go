@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lightvm/internal/metrics"
+)
+
+// Golden-figure regression tests: the figures that ride on the store's
+// checkpoint/clone machinery (fig12a/b), the CPU-utilization sweep
+// (fig15) and the cloning extension (ext-clone) are rendered to a
+// canonical JSON document and compared byte-for-byte against committed
+// goldens. Any change to the simulator that moves a published curve —
+// a re-costed operation, a reordered charge, a new store primitive —
+// shows up here as a diff that must be regenerated deliberately
+// (`go test ./internal/experiments -run TestGoldenFigures -update`)
+// and explained in the commit that carries it.
+
+var updateGolden = flag.Bool("update", false, "rewrite golden figure files")
+
+// goldenOptions pins the deterministic configuration the goldens were
+// generated with: the default seed, a small scale so the test stays
+// fast, and a sequential pool (parallel runs render byte-identical
+// tables, but sequential keeps the goldens' provenance trivial).
+var goldenOptions = Options{Scale: 0.05, Seed: 1, Samples: 8, Parallel: 1}
+
+// goldenFigures are the curves the COW-store work must not move
+// unintentionally.
+var goldenFigures = []string{"fig12a", "fig12b", "fig15", "ext-clone"}
+
+// goldenDoc is the canonical JSON schema for one figure: everything
+// deterministic about a run (virtual time and the full table), nothing
+// wall-clock dependent.
+type goldenDoc struct {
+	ID        string      `json:"id"`
+	Paper     string      `json:"paper"`
+	VirtualMS float64     `json:"virtual_ms"`
+	Title     string      `json:"title"`
+	Columns   []string    `json:"columns"`
+	Rows      [][]float64 `json:"rows"`
+	Notes     []string    `json:"notes"`
+}
+
+// renderGolden runs one figure and encodes its deterministic content.
+func renderGolden(t *testing.T, id string) []byte {
+	t.Helper()
+	res, err := Run(id, goldenOptions)
+	if err != nil {
+		t.Fatalf("run %s: %v", id, err)
+	}
+	tab, ok := res.Table.(*metrics.Table)
+	if !ok {
+		t.Fatalf("%s: result table is %T, not *metrics.Table", id, res.Table)
+	}
+	doc := goldenDoc{
+		ID:        res.ID,
+		Paper:     res.Paper,
+		VirtualMS: res.VirtualMS,
+		Title:     tab.Title,
+		Columns:   tab.Columns,
+		Rows:      tab.Rows,
+		Notes:     tab.Notes,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", id, err)
+	}
+	return append(buf, '\n')
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", id+".json")
+}
+
+func TestGoldenFigures(t *testing.T) {
+	for _, id := range goldenFigures {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			got := renderGolden(t, id)
+			path := goldenPath(id)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: output moved from committed golden %s\n"+
+					"--- got ---\n%s\n--- want ---\n%s\n"+
+					"(if this change is intentional, regenerate with -update and explain the diff in the commit)",
+					id, path, got, want)
+			}
+		})
+	}
+}
