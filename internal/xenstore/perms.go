@@ -44,23 +44,35 @@ func (p Perm) String() string {
 var ErrPermission = errors.New("xenstore: permission denied")
 
 // SetPerm sets a node's owner and access class (toolstack operation).
+// Like real xenstored's SET_PERMS it does not bump the node's
+// generation (ACL changes do not conflict transactions), but in the
+// immutable tree it still publishes a fresh spine.
 func (s *Store) SetPerm(path string, owner int, perm Perm) error {
-	n, touched, err := s.lookup(path)
+	it := segments(path)
+	newRoot, touched, found := updateAt(s.loaded().root, &it, func(n *node) *node {
+		c := n.clone()
+		c.owner = owner
+		c.perm = perm
+		return c
+	})
 	s.chargeOp(touched)
-	if err != nil {
-		return err
+	if !found {
+		return fmt.Errorf("%w: %s", ErrNoEnt, path)
 	}
-	n.owner = owner
-	n.perm = perm
+	s.publish(newRoot)
 	return nil
 }
 
-// PermOf reports a node's owner and access class.
+// PermOf reports a node's owner and access class (as of the end of the
+// charged round trip, like Read).
 func (s *Store) PermOf(path string) (owner int, perm Perm, err error) {
 	n, touched, err := s.lookup(path)
 	s.chargeOp(touched)
 	if err != nil {
 		return 0, PermNone, err
+	}
+	if cur, _ := s.resolve(path); cur != nil {
+		n = cur
 	}
 	return n.owner, n.perm, nil
 }
@@ -98,6 +110,10 @@ func (s *Store) GuestRead(domid int, path string) (string, error) {
 	s.chargeOp(touched)
 	if err != nil {
 		return "", err
+	}
+	// End-of-round-trip semantics, like Read.
+	if cur, _ := s.resolve(path); cur != nil {
+		n = cur
 	}
 	if !s.mayRead(domid, path, n) {
 		return "", fmt.Errorf("%w: domain %d reading %s", ErrPermission, domid, path)

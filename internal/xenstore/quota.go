@@ -105,7 +105,7 @@ func (s *Store) WriteAsGuest(owner int, path, value string) error {
 // missingNodes reports how many path components do not yet exist.
 func (s *Store) missingNodes(path string) int {
 	it := segments(path)
-	n := s.root
+	n := s.loaded().root
 	missing := 0
 	for {
 		p, ok := it.next()
@@ -116,8 +116,8 @@ func (s *Store) missingNodes(path string) int {
 			missing++
 			continue
 		}
-		child, ok := n.children[p]
-		if !ok {
+		child := n.child(p)
+		if child == nil {
 			missing = 1
 			continue
 		}

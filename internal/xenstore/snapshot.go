@@ -1,0 +1,315 @@
+package xenstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Snapshot is an immutable capture of the store at one published
+// version. Taking one is O(1) — a single atomic load of the root
+// pointer — because the tree is never mutated in place (tree.go);
+// the snapshot stays frozen forever while the live store keeps moving.
+//
+// Snapshots never charge the virtual clock: capturing one models a
+// pointer swap inside the daemon, and reading one models the consumer
+// (toolstack, migration code) walking its own frozen copy without a
+// round trip to the daemon. Consumers that want the protocol-level
+// cost of asking the daemon for a snapshot charge
+// costs.CostStoreSnapshot on their own clock (see internal/migrate).
+// This is also what makes Snapshot safe to call from any goroutine
+// while the owning timeline mutates: it touches only the atomic root
+// and an atomic counter.
+type Snapshot struct {
+	root *node
+	gen  uint64
+}
+
+// Snapshot captures the current store state in O(1).
+func (s *Store) Snapshot() *Snapshot {
+	st := s.state.Load()
+	atomic.AddUint64(&s.Count.Snapshots, 1)
+	return &Snapshot{root: st.root, gen: st.gen}
+}
+
+// Gen reports the store generation the snapshot was taken at.
+func (sn *Snapshot) Gen() uint64 { return sn.gen }
+
+// NumNodes reports how many nodes the snapshot captured, including its
+// own root. O(1): subtree sizes ride along on every copy.
+func (sn *Snapshot) NumNodes() int { return sn.root.size }
+
+// Read returns the value at path inside the frozen tree.
+func (sn *Snapshot) Read(path string) (string, error) {
+	n, _ := resolveFrom(sn.root, path)
+	if n == nil {
+		return "", fmt.Errorf("%w: %s", ErrNoEnt, path)
+	}
+	return n.value, nil
+}
+
+// Exists reports whether path resolved at capture time.
+func (sn *Snapshot) Exists(path string) bool {
+	n, _ := resolveFrom(sn.root, path)
+	return n != nil
+}
+
+// Directory lists the children of path at capture time, sorted.
+func (sn *Snapshot) Directory(path string) ([]string, error) {
+	n, _ := resolveFrom(sn.root, path)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoEnt, path)
+	}
+	out := appendChildNames(n.kids, make([]string, 0, n.nkids))
+	sort.Strings(out)
+	return out, nil
+}
+
+// Subtree returns a snapshot rooted at path (sharing the same frozen
+// nodes; O(depth of path)).
+func (sn *Snapshot) Subtree(path string) (*Snapshot, error) {
+	n, _ := resolveFrom(sn.root, path)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoEnt, path)
+	}
+	return &Snapshot{root: n, gen: sn.gen}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Serialization. The format is canonical: children are emitted in
+// sorted name order and every varint is minimal, so for any blob that
+// DeserializeSnapshot accepts, Serialize(Deserialize(blob)) == blob.
+// FuzzSnapshotRoundTrip leans on that exact property.
+// ---------------------------------------------------------------------------
+
+// snapMagic versions the wire format.
+const snapMagic = "xsnap1\n"
+
+// ErrBadSnapshot is returned for malformed or non-canonical blobs.
+var ErrBadSnapshot = errors.New("xenstore: malformed snapshot")
+
+// Serialize encodes the snapshot into the canonical byte format.
+func (sn *Snapshot) Serialize() []byte {
+	buf := make([]byte, 0, 64+sn.root.size*24)
+	buf = append(buf, snapMagic...)
+	buf = binary.AppendUvarint(buf, sn.gen)
+	return appendNode(buf, sn.root)
+}
+
+// appendNode encodes one node and its children (sorted by name).
+func appendNode(buf []byte, n *node) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(n.name)))
+	buf = append(buf, n.name...)
+	buf = binary.AppendUvarint(buf, uint64(len(n.value)))
+	buf = append(buf, n.value...)
+	buf = binary.AppendUvarint(buf, n.gen)
+	buf = binary.AppendUvarint(buf, uint64(n.owner))
+	buf = binary.AppendUvarint(buf, uint64(n.perm))
+	buf = binary.AppendUvarint(buf, uint64(n.nkids))
+	kids := make([]*node, 0, n.nkids)
+	n.eachChild(func(c *node) bool {
+		kids = append(kids, c)
+		return true
+	})
+	sort.Slice(kids, func(i, j int) bool { return kids[i].name < kids[j].name })
+	for _, c := range kids {
+		buf = appendNode(buf, c)
+	}
+	return buf
+}
+
+// snapReader is a bounds-checked cursor over a snapshot blob.
+type snapReader struct {
+	data   []byte
+	off    int
+	maxGen uint64
+}
+
+// uvarint reads a minimally-encoded varint (non-minimal encodings are
+// rejected to keep the format canonical).
+func (r *snapReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at %d", ErrBadSnapshot, r.off)
+	}
+	if n > 1 && r.data[r.off+n-1] == 0 {
+		return 0, fmt.Errorf("%w: non-minimal varint at %d", ErrBadSnapshot, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// str reads a length-prefixed string.
+func (r *snapReader) str() (string, error) {
+	l, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if l > uint64(len(r.data)-r.off) {
+		return "", fmt.Errorf("%w: string length %d overruns input", ErrBadSnapshot, l)
+	}
+	s := string(r.data[r.off : r.off+int(l)])
+	r.off += int(l)
+	return s, nil
+}
+
+// readNode decodes one node subtree. Child names must be strictly
+// ascending (sorted and duplicate-free — the canonical order), and
+// child names must be valid single path segments.
+func (r *snapReader) readNode(depth int) (*node, error) {
+	const maxDepth = 512
+	if depth > maxDepth {
+		return nil, fmt.Errorf("%w: nesting deeper than %d", ErrBadSnapshot, maxDepth)
+	}
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	value, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	owner, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	perm, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if perm > uint64(PermBoth) {
+		return nil, fmt.Errorf("%w: perm %d out of range", ErrBadSnapshot, perm)
+	}
+	nkids, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if gen > r.maxGen {
+		r.maxGen = gen
+	}
+	n := &node{name: name, value: value, gen: gen, owner: int(owner), perm: Perm(perm), size: 1}
+	prev := ""
+	for i := uint64(0); i < nkids; i++ {
+		c, err := r.readNode(depth + 1)
+		if err != nil {
+			return nil, err
+		}
+		if !validSegment(c.name) {
+			return nil, fmt.Errorf("%w: bad child name %q", ErrBadSnapshot, c.name)
+		}
+		if i > 0 && c.name <= prev {
+			return nil, fmt.Errorf("%w: children out of order (%q after %q)", ErrBadSnapshot, c.name, prev)
+		}
+		prev = c.name
+		kids, _ := amtSet(n.kids, nameHash(c.name), 0, c)
+		n.kids = kids
+		n.nkids++
+		n.size += c.size
+	}
+	return n, nil
+}
+
+// validSegment reports whether s can be one path component.
+func validSegment(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			return false
+		}
+	}
+	return true
+}
+
+// DeserializeSnapshot decodes a blob produced by Serialize, validating
+// structure, bounds and canonical ordering. The resulting snapshot's
+// generation is at least the largest node generation it contains, so
+// grafting it never rewinds a destination store's generation order.
+func DeserializeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	r := &snapReader{data: data, off: len(snapMagic)}
+	gen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	root, err := r.readNode(0)
+	if err != nil {
+		return nil, err
+	}
+	if root.name != "/" && !validSegment(root.name) {
+		return nil, fmt.Errorf("%w: bad root name %q", ErrBadSnapshot, root.name)
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(data)-r.off)
+	}
+	if r.maxGen > gen {
+		return nil, fmt.Errorf("%w: node generation %d exceeds snapshot generation %d", ErrBadSnapshot, r.maxGen, gen)
+	}
+	return &Snapshot{root: root, gen: gen}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Grafting: installing a frozen subtree into a live store.
+// ---------------------------------------------------------------------------
+
+// lastSegment returns the final component of path ("" for the root).
+func lastSegment(path string) string {
+	it := segments(path)
+	last := ""
+	for {
+		seg, ok := it.next()
+		if !ok {
+			return last
+		}
+		last = seg
+	}
+}
+
+// GraftSnapshot installs the subtree at srcPath of sn under dstPath,
+// replacing whatever is there. The grafted nodes are shared with the
+// snapshot (structural sharing: only the destination spine and the
+// grafted root are copied), which is what makes restore and clone
+// independent of subtree size. The grafted root gets a fresh
+// generation; interior nodes keep their captured generations, and the
+// store's counter is advanced past the snapshot's so generation order
+// stays monotonic even for snapshots carried over from another store.
+//
+// Grafted nodes are not charged to any domain's quota: grafting is a
+// Dom0 toolstack operation, exactly like WriteAs. One op is charged
+// and watches fire once, on dstPath.
+func (s *Store) GraftSnapshot(sn *Snapshot, srcPath, dstPath string) error {
+	sub, _ := resolveFrom(sn.root, srcPath)
+	if sub == nil {
+		s.chargeOp(1)
+		return fmt.Errorf("%w: snapshot path %s", ErrNoEnt, srcPath)
+	}
+	name := lastSegment(dstPath)
+	if name == "" {
+		s.chargeOp(1)
+		return errors.New("xenstore: cannot graft onto the root")
+	}
+	if sn.gen > s.gen {
+		s.gen = sn.gen
+	}
+	grafted := sub.clone()
+	grafted.name = name
+	s.gen++
+	grafted.gen = s.gen
+	it := segments(dstPath)
+	newRoot, touched, _ := s.applyWrite(s.loaded().root, &it, 0, func(*node) *node {
+		return grafted
+	})
+	s.publish(newRoot)
+	s.chargeOp(touched + s.matchCost(dstPath))
+	s.fireWatches(dstPath)
+	return nil
+}

@@ -4,6 +4,13 @@
 // with values, per-node generation counters, prefix watches, and
 // transactions that fail and retry on conflict.
 //
+// The tree is immutable and structurally shared (see tree.go): every
+// mutation builds a new root by copying only the spine and publishes
+// it with one atomic pointer store. Store.Snapshot is therefore an
+// O(1) root capture, and snapshots stay frozen forever while the live
+// tree keeps moving — the basis of the O(1) checkpoint/clone paths in
+// internal/migrate and internal/toolstack.
+//
 // Every operation charges the virtual clock the paper's message cost:
 // "each operation requires sending a message and receiving an
 // acknowledgment, each triggering a software interrupt: a single read
@@ -14,6 +21,13 @@
 // makes creation cost grow with the number of guests, and it appends
 // to 20 access-log files that rotate every 13,215 lines — the spikes
 // in Fig. 5 and Fig. 9.
+//
+// Concurrency contract: mutations (and clock-charging reads) stay
+// single-threaded, like the real single-threaded oxenstored event
+// loop and like the rest of the simulation, which shares one
+// sim.Clock per timeline. Snapshot is the exception: it only loads
+// the atomically-published root, so any goroutine may take and read
+// snapshots while the owning timeline keeps mutating.
 package xenstore
 
 import (
@@ -21,6 +35,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"lightvm/internal/costs"
 	"lightvm/internal/faults"
@@ -52,6 +67,10 @@ type Counters struct {
 	LogLines     uint64
 	LogRotations uint64
 	UniqScans    uint64
+	// Snapshots counts O(1) root captures. It is incremented atomically
+	// (Snapshot may be called from any goroutine) and must be read with
+	// atomic.LoadUint64 while snapshotters are live.
+	Snapshots uint64
 	// Stalls counts injected store-daemon freezes (fault plane).
 	Stalls uint64
 	// InjectedConflicts counts commits aborted by the fault plane
@@ -59,20 +78,19 @@ type Counters struct {
 	InjectedConflicts uint64
 }
 
-type node struct {
-	name     string
-	value    string
-	children map[string]*node
-	gen      uint64 // bumped on any modification (incl. child add/rm)
-	owner    int    // domain that owns the node (permission model)
-	perm     Perm   // access class for non-owners
+// treeState is one published version of the store: the immutable root
+// plus the generation counter it was published at. Root and generation
+// travel together so Snapshot captures a consistent pair.
+type treeState struct {
+	root *node
+	gen  uint64
 }
 
 // Store is the oxenstored-equivalent.
 type Store struct {
 	clock *sim.Clock
-	root  *node
-	gen   uint64
+	state atomic.Pointer[treeState]
+	gen   uint64 // mutator-side generation counter (mirrored into state)
 
 	watches   []*watch
 	nextWatch int
@@ -115,14 +133,25 @@ type Store struct {
 // New creates an empty store on clock with access logging enabled
 // (the stock oxenstored configuration).
 func New(clock *sim.Clock) *Store {
-	return &Store{
+	s := &Store{
 		clock:          clock,
-		root:           &node{name: "/", children: map[string]*node{}},
 		txns:           make(map[TxnID]*txn),
 		LoggingEnabled: true,
 		nodeQuota:      DefaultNodeQuota,
 		ownerNodes:     make(map[int]int),
 	}
+	s.state.Store(&treeState{root: &node{name: "/", size: 1}})
+	return s
+}
+
+// loaded returns the current published tree version.
+func (s *Store) loaded() *treeState { return s.state.Load() }
+
+// publish installs root as the current tree version. Mutator-side
+// only; concurrent snapshotters observe either the old or the new
+// version, never a mix.
+func (s *Store) publish(root *node) {
+	s.state.Store(&treeState{root: root, gen: s.gen})
 }
 
 // segIter walks a path's components without allocating: "/a/b/c"
@@ -196,24 +225,30 @@ func (s *Store) logAccess() {
 	}
 }
 
-// resolve walks a path without allocating, returning the node (nil if
-// missing) and the number of nodes visited.
-func (s *Store) resolve(path string) (*node, int) {
+// resolveFrom walks a path from root without allocating, returning the
+// node (nil if missing) and the number of nodes visited. Shared by the
+// live store and frozen snapshots.
+func resolveFrom(root *node, path string) (*node, int) {
 	it := segments(path)
-	n := s.root
+	n := root
 	touched := 1
 	for {
 		p, ok := it.next()
 		if !ok {
 			return n, touched
 		}
-		child, ok := n.children[p]
-		if !ok {
+		child := n.child(p)
+		if child == nil {
 			return nil, touched
 		}
 		n = child
 		touched++
 	}
+}
+
+// resolve walks a path in the live tree.
+func (s *Store) resolve(path string) (*node, int) {
+	return resolveFrom(s.loaded().root, path)
 }
 
 // lookup resolves a path, returning the node and the number of nodes
@@ -226,39 +261,38 @@ func (s *Store) lookup(path string) (*node, int, error) {
 	return n, touched, nil
 }
 
-// childMapHint pre-sizes newly created child maps: store directories
-// are mostly small (a device dir holds a handful of entries), so a
-// small hint avoids growth rehashes without wasting space on leaves.
-const childMapHint = 4
-
-// ensure creates intermediate directories and returns the leaf,
-// reporting nodes visited/created and whether the leaf was created.
-// Child maps are allocated lazily: leaf nodes (the common case) never
-// pay for an empty map.
-func (s *Store) ensure(path string, owner int) (*node, int, bool) {
-	it := segments(path)
-	n := s.root
-	touched := 1
-	created := false
-	for {
-		p, ok := it.next()
-		if !ok {
-			return n, touched, created
-		}
-		child, ok := n.children[p]
-		if !ok {
-			child = &node{name: p, owner: owner}
-			if n.children == nil {
-				n.children = make(map[string]*node, childMapHint)
-			}
-			n.children[p] = child
-			s.gen++
-			n.gen = s.gen // directory modified
-			created = true
-		}
-		n = child
-		touched++
+// applyWrite rebuilds the spine from n down the remaining path,
+// creating missing components (owned by owner, gen 0 — see node) and
+// replacing the final node with leaf(final). Generation bumps happen
+// top-down in the same order as the historical mutable implementation:
+// a parent's generation is bumped at the moment a child is created
+// under it, before deeper creations. It returns the new subtree root,
+// the nodes visited, and whether any component was created. When leaf
+// returns its argument unchanged and nothing was created, the original
+// n is returned (pointer-equal), so no-op mutations publish nothing.
+func (s *Store) applyWrite(n *node, it *segIter, owner int, leaf func(*node) *node) (*node, int, bool) {
+	seg, ok := it.next()
+	if !ok {
+		return leaf(n), 1, false
 	}
+	child := n.child(seg)
+	created := false
+	var parentGen uint64
+	if child == nil {
+		child = &node{name: seg, owner: owner, size: 1}
+		s.gen++
+		parentGen = s.gen
+		created = true
+	}
+	newChild, touched, deeper := s.applyWrite(child, it, owner, leaf)
+	if newChild == child && !created {
+		return n, touched + 1, deeper
+	}
+	nn := n.withChild(newChild)
+	if created {
+		nn.gen = parentGen
+	}
+	return nn, touched + 1, created || deeper
 }
 
 // Write sets path to value (creating intermediate directories),
@@ -269,20 +303,35 @@ func (s *Store) Write(path, value string) {
 
 // WriteAs is Write with an owning domain for new nodes.
 func (s *Store) WriteAs(owner int, path, value string) {
-	n, touched, _ := s.ensure(path, owner)
-	n.value = value
-	s.gen++
-	n.gen = s.gen
+	it := segments(path)
+	newRoot, touched, _ := s.applyWrite(s.loaded().root, &it, owner, func(n *node) *node {
+		c := n.clone()
+		c.value = value
+		s.gen++
+		c.gen = s.gen
+		return c
+	})
+	s.publish(newRoot)
 	s.chargeOp(touched + s.matchCost(path))
 	s.fireWatches(path)
 }
 
-// Read returns the value at path.
+// Read returns the value at path. The reply carries the value as of
+// the END of the charged round trip: clock events that fire during the
+// charge (a backend's setup commit, a watch callback) may update the
+// node before the reply is delivered, and the client sees that update
+// — the behaviour of a store daemon that serializes the reply after
+// processing everything ahead of it. Whether the node exists is
+// decided at the START of the op (a node appearing mid-charge does not
+// turn an ErrNoEnt into a hit).
 func (s *Store) Read(path string) (string, error) {
 	n, touched, err := s.lookup(path)
 	s.chargeOp(touched)
 	if err != nil {
 		return "", err
+	}
+	if cur, _ := s.resolve(path); cur != nil {
+		return cur.value, nil
 	}
 	return n.value, nil
 }
@@ -296,8 +345,10 @@ func (s *Store) Exists(path string) bool {
 
 // Mkdir creates a directory node.
 func (s *Store) Mkdir(path string) {
-	_, touched, created := s.ensure(path, 0)
+	it := segments(path)
+	newRoot, touched, created := s.applyWrite(s.loaded().root, &it, 0, func(n *node) *node { return n })
 	if created {
+		s.publish(newRoot)
 		s.chargeOp(touched + s.matchCost(path))
 		s.fireWatches(path)
 	} else {
@@ -323,13 +374,82 @@ func (s *Store) DirectoryAppend(path string, buf []string) ([]string, error) {
 		s.chargeOp(touched)
 		return nil, err
 	}
-	out := buf[:0]
-	for name := range n.children {
-		out = append(out, name)
+	s.chargeOp(touched + n.nkids)
+	// Like Read, the listing reflects children as of the end of the
+	// charge (the cost was fixed at op start).
+	if cur, _ := s.resolve(path); cur != nil {
+		n = cur
 	}
+	out := appendChildNames(n.kids, buf[:0])
 	sort.Strings(out)
-	s.chargeOp(touched + len(n.children))
 	return out, nil
+}
+
+// appendChildNames collects a trie's entry names into buf. It is a
+// plain function (no closure) so a warm buffer makes the listing
+// allocation-free.
+func appendChildNames(a *amtNode, buf []string) []string {
+	if a == nil {
+		return buf
+	}
+	for _, s := range a.slots {
+		switch e := s.(type) {
+		case *node:
+			buf = append(buf, e.name)
+		case *amtNode:
+			buf = appendChildNames(e, buf)
+		case *amtCollision:
+			for _, n := range e.entries {
+				buf = append(buf, n.name)
+			}
+		}
+	}
+	return buf
+}
+
+// applyRm rebuilds the spine with the subtree at (remaining path,
+// final component leaf) removed. The visited-node count reproduces the
+// historical walk exactly: one per ancestor reached, whether or not
+// the final component exists.
+func (s *Store) applyRm(n *node, it *segIter, leaf string) (newN, removed *node, touched int, found bool) {
+	next, more := it.next()
+	if !more {
+		nn, rm := n.withoutChild(leaf)
+		if rm == nil {
+			return nil, nil, 1, false
+		}
+		s.gen++
+		nn.gen = s.gen
+		return nn, rm, 1, true
+	}
+	child := n.child(leaf)
+	if child == nil {
+		return nil, nil, 1, false
+	}
+	newChild, rm, t, ok := s.applyRm(child, it, next)
+	if !ok {
+		return nil, nil, t + 1, false
+	}
+	return n.withChild(newChild), rm, t + 1, true
+}
+
+// updateAt rebuilds the spine down the remaining path and replaces the
+// final node with f(final), creating nothing. The visited-node count
+// matches resolveFrom. Generations are untouched unless f bumps them.
+func updateAt(n *node, it *segIter, f func(*node) *node) (newN *node, touched int, found bool) {
+	seg, ok := it.next()
+	if !ok {
+		return f(n), 1, true
+	}
+	child := n.child(seg)
+	if child == nil {
+		return nil, 1, false
+	}
+	newChild, t, ok := updateAt(child, it, f)
+	if !ok {
+		return nil, t + 1, false
+	}
+	return n.withChild(newChild), t + 1, true
 }
 
 // Rm removes path and its subtree.
@@ -339,49 +459,21 @@ func (s *Store) Rm(path string) error {
 	if !ok {
 		return errors.New("xenstore: cannot remove root")
 	}
-	// Walk to the parent of the final component without rebuilding the
-	// parent path string.
-	parent := s.root
-	touched := 1
-	for {
-		next, more := it.next()
-		if !more {
-			break
-		}
-		child, ok := parent.children[leaf]
-		if !ok {
-			s.chargeOp(touched)
-			return fmt.Errorf("%w: %s", ErrNoEnt, path)
-		}
-		parent = child
-		touched++
-		leaf = next
-	}
-	child, ok := parent.children[leaf]
-	if !ok {
+	newRoot, removed, touched, found := s.applyRm(s.loaded().root, &it, leaf)
+	if !found {
 		s.chargeOp(touched)
 		return fmt.Errorf("%w: %s", ErrNoEnt, path)
 	}
-	sub := countNodes(child)
-	delete(parent.children, leaf)
-	s.gen++
-	parent.gen = s.gen
-	s.chargeOp(touched + sub + s.matchCost(path))
+	s.publish(newRoot)
+	s.chargeOp(touched + removed.size + s.matchCost(path))
 	s.fireWatches(path)
 	return nil
 }
 
-func countNodes(n *node) int {
-	total := 1
-	for _, c := range n.children {
-		total += countNodes(c)
-	}
-	return total
-}
-
 // NumNodes reports the total node count (diagnostic; grows ~40 per
-// guest with the stock toolstack).
-func (s *Store) NumNodes() int { return countNodes(s.root) - 1 }
+// guest with the stock toolstack). O(1): subtree sizes are maintained
+// on every copy.
+func (s *Store) NumNodes() int { return s.loaded().root.size - 1 }
 
 // WriteUniqueName records a guest name under dir, performing the
 // uniqueness check the paper calls out: "the XenStore compares the new
@@ -394,18 +486,24 @@ func (s *Store) WriteUniqueName(dir, key, name string) error {
 	s.Count.UniqScans++
 	n, _ := s.resolve(dir)
 	if n != nil {
-		for _, child := range n.children {
+		dup := false
+		n.eachChild(func(child *node) bool {
 			s.clock.Sleep(costs.XSNameUniquenessPerGuest)
 			if child.value == name {
-				s.chargeOp(len(n.children))
-				return fmt.Errorf("%w: name %q", ErrExists, name)
+				dup = true
+				return false
 			}
+			return true
+		})
+		if dup {
+			s.chargeOp(n.nkids)
+			return fmt.Errorf("%w: name %q", ErrExists, name)
 		}
 		// The scan touches every registered name whether or not a
 		// duplicate turns up (§4.2): accepting a unique name costs the
 		// same full comparison pass, so the successful path charges the
 		// scan too.
-		s.chargeOp(len(n.children))
+		s.chargeOp(n.nkids)
 	}
 	s.WriteAs(0, dir+"/"+key, name)
 	return nil

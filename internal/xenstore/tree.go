@@ -1,0 +1,328 @@
+package xenstore
+
+import "math/bits"
+
+// The store's state is an immutable, structurally-shared tree: nodes
+// are never modified after publication. Every mutation (write, rm,
+// mkdir, perm change, transaction apply) builds a new root by copying
+// only the spine — the nodes on the path from the root to the change —
+// and publishes it with one atomic pointer store. Everything hanging
+// off the copied spine is shared with the previous version.
+//
+// That single invariant is what makes Store.Snapshot O(1): a snapshot
+// is just the current root pointer, and it stays internally consistent
+// forever because no mutation can reach the nodes it captured.
+//
+// Each node's children live in a persistent hash-array-mapped trie
+// (HAMT) keyed by the child name's FNV-1a hash, 5 bits of hash per
+// level. Copying a directory on the spine therefore costs
+// O(log32 fanout) small arrays instead of O(fanout): /local/domain
+// with 8000 guests copies two ~32-slot arrays per write beneath it,
+// not an 8000-entry map.
+
+// node is one immutable store node. The zero gen means "never
+// explicitly modified" — freshly ensured intermediate directories keep
+// gen 0 exactly like the historical mutable implementation, which is
+// load-bearing for transaction-conflict semantics (a transaction that
+// observed absence does not conflict with an intermediate directory
+// appearing).
+type node struct {
+	name  string
+	value string
+	gen   uint64 // bumped on any modification (incl. child add/rm)
+	owner int    // domain that owns the node (permission model)
+	perm  Perm   // access class for non-owners
+
+	kids  *amtNode // nil when the node has no children
+	nkids int      // direct children
+	size  int      // subtree node count including this node
+}
+
+// clone returns a mutable copy of n; callers fix it up and publish it
+// inside a new tree version. The original is never touched.
+func (n *node) clone() *node {
+	c := *n
+	return &c
+}
+
+// ---------------------------------------------------------------------------
+// Persistent HAMT: name → *node.
+// ---------------------------------------------------------------------------
+
+const (
+	amtBits  = 5
+	amtWidth = 1 << amtBits // 32
+	amtMask  = amtWidth - 1
+	// amtMaxShift is the hash exhaustion point: past it, entries live
+	// in a collision bucket and are scanned linearly (FNV-1a makes
+	// this effectively unreachable, but correctness must not rely on
+	// hash quality).
+	amtMaxShift = 60
+)
+
+// amtNode is one bitmap-compressed trie level. slots[i] is either a
+// *node (a direct entry) or a *amtNode (a deeper level); at
+// amtMaxShift, slots hold *amtCollision.
+type amtNode struct {
+	bitmap uint32
+	slots  []any
+}
+
+// amtCollision is the (practically unreachable) full-hash-collision
+// bucket.
+type amtCollision struct {
+	entries []*node
+}
+
+// nameHash is FNV-1a over the child name. Allocation-free.
+func nameHash(s string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// slotIndex maps a bitmap position to its packed slot index.
+func (a *amtNode) slotIndex(bit uint32) int {
+	return bits.OnesCount32(a.bitmap & (bit - 1))
+}
+
+// amtGet returns the child named name, or nil.
+func amtGet(a *amtNode, h uint64, shift uint, name string) *node {
+	for a != nil {
+		if shift >= amtMaxShift {
+			for _, s := range a.slots {
+				if c, ok := s.(*amtCollision); ok {
+					for _, e := range c.entries {
+						if e.name == name {
+							return e
+						}
+					}
+				}
+			}
+			return nil
+		}
+		bit := uint32(1) << ((h >> shift) & amtMask)
+		if a.bitmap&bit == 0 {
+			return nil
+		}
+		switch s := a.slots[a.slotIndex(bit)].(type) {
+		case *node:
+			if s.name == name {
+				return s
+			}
+			return nil
+		case *amtNode:
+			a, shift = s, shift+amtBits
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// withSlot returns a copy of a with the packed slot at idx replaced.
+func (a *amtNode) withSlot(idx int, s any) *amtNode {
+	slots := make([]any, len(a.slots))
+	copy(slots, a.slots)
+	slots[idx] = s
+	return &amtNode{bitmap: a.bitmap, slots: slots}
+}
+
+// withInsert returns a copy of a with a new bit set and slot inserted.
+func (a *amtNode) withInsert(bit uint32, s any) *amtNode {
+	idx := a.slotIndex(bit)
+	slots := make([]any, len(a.slots)+1)
+	copy(slots, a.slots[:idx])
+	slots[idx] = s
+	copy(slots[idx+1:], a.slots[idx:])
+	return &amtNode{bitmap: a.bitmap | bit, slots: slots}
+}
+
+// withRemove returns a copy of a with a bit cleared and its slot
+// dropped (nil when the level empties).
+func (a *amtNode) withRemove(bit uint32) *amtNode {
+	if a.bitmap == bit {
+		return nil
+	}
+	idx := a.slotIndex(bit)
+	slots := make([]any, len(a.slots)-1)
+	copy(slots, a.slots[:idx])
+	copy(slots[idx:], a.slots[idx+1:])
+	return &amtNode{bitmap: a.bitmap &^ bit, slots: slots}
+}
+
+// amtSet returns a new trie with child present under its name,
+// reporting whether the entry is new (vs replaced).
+func amtSet(a *amtNode, h uint64, shift uint, child *node) (*amtNode, bool) {
+	if a == nil {
+		if shift >= amtMaxShift {
+			return &amtNode{bitmap: 1, slots: []any{&amtCollision{entries: []*node{child}}}}, true
+		}
+		bit := uint32(1) << ((h >> shift) & amtMask)
+		return &amtNode{bitmap: bit, slots: []any{child}}, true
+	}
+	if shift >= amtMaxShift {
+		c, _ := a.slots[0].(*amtCollision)
+		for i, e := range c.entries {
+			if e.name == child.name {
+				entries := make([]*node, len(c.entries))
+				copy(entries, c.entries)
+				entries[i] = child
+				return &amtNode{bitmap: a.bitmap, slots: []any{&amtCollision{entries: entries}}}, false
+			}
+		}
+		entries := make([]*node, len(c.entries)+1)
+		copy(entries, c.entries)
+		entries[len(c.entries)] = child
+		return &amtNode{bitmap: a.bitmap, slots: []any{&amtCollision{entries: entries}}}, true
+	}
+	bit := uint32(1) << ((h >> shift) & amtMask)
+	if a.bitmap&bit == 0 {
+		return a.withInsert(bit, child), true
+	}
+	idx := a.slotIndex(bit)
+	switch s := a.slots[idx].(type) {
+	case *node:
+		if s.name == child.name {
+			return a.withSlot(idx, child), false
+		}
+		// Two names share this slot: push the old entry one level down
+		// next to the new one.
+		sub, _ := amtSet(nil, nameHash(s.name), shift+amtBits, s)
+		sub, _ = amtSet(sub, h, shift+amtBits, child)
+		return a.withSlot(idx, sub), true
+	case *amtNode:
+		sub, added := amtSet(s, h, shift+amtBits, child)
+		return a.withSlot(idx, sub), added
+	default:
+		return a, false // unreachable
+	}
+}
+
+// amtDel returns a new trie without name, and the removed entry (nil
+// if absent). Emptied levels collapse to nil.
+func amtDel(a *amtNode, h uint64, shift uint, name string) (*amtNode, *node) {
+	if a == nil {
+		return nil, nil
+	}
+	if shift >= amtMaxShift {
+		c, _ := a.slots[0].(*amtCollision)
+		for i, e := range c.entries {
+			if e.name == name {
+				if len(c.entries) == 1 {
+					return nil, e
+				}
+				entries := make([]*node, 0, len(c.entries)-1)
+				entries = append(entries, c.entries[:i]...)
+				entries = append(entries, c.entries[i+1:]...)
+				return &amtNode{bitmap: a.bitmap, slots: []any{&amtCollision{entries: entries}}}, e
+			}
+		}
+		return a, nil
+	}
+	bit := uint32(1) << ((h >> shift) & amtMask)
+	if a.bitmap&bit == 0 {
+		return a, nil
+	}
+	idx := a.slotIndex(bit)
+	switch s := a.slots[idx].(type) {
+	case *node:
+		if s.name != name {
+			return a, nil
+		}
+		return a.withRemove(bit), s
+	case *amtNode:
+		sub, removed := amtDel(s, h, shift+amtBits, name)
+		if removed == nil {
+			return a, nil
+		}
+		if sub == nil {
+			return a.withRemove(bit), removed
+		}
+		return a.withSlot(idx, sub), removed
+	default:
+		return a, nil
+	}
+}
+
+// amtIter visits every entry in trie order (deterministic for a given
+// content, unlike Go map iteration). fn returning false stops the walk.
+func amtIter(a *amtNode, fn func(*node) bool) bool {
+	if a == nil {
+		return true
+	}
+	for _, s := range a.slots {
+		switch e := s.(type) {
+		case *node:
+			if !fn(e) {
+				return false
+			}
+		case *amtNode:
+			if !amtIter(e, fn) {
+				return false
+			}
+		case *amtCollision:
+			for _, n := range e.entries {
+				if !fn(n) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// child returns n's direct child by name (nil if absent).
+func (n *node) child(name string) *node {
+	if n.kids == nil {
+		return nil
+	}
+	return amtGet(n.kids, nameHash(name), 0, name)
+}
+
+// withChild returns a copy of n with child set (added or replaced),
+// with size/nkids bookkeeping.
+func (n *node) withChild(child *node) *node {
+	c := n.clone()
+	old := n.child(child.name)
+	kids, added := amtSet(n.kids, nameHash(child.name), 0, child)
+	c.kids = kids
+	if added {
+		c.nkids++
+		c.size += child.size
+	} else {
+		c.size += child.size - old.size
+	}
+	return c
+}
+
+// withoutChild returns a copy of n with the named child removed, plus
+// the removed child (nil, nil if absent).
+func (n *node) withoutChild(name string) (*node, *node) {
+	if n.kids == nil {
+		return nil, nil
+	}
+	kids, removed := amtDel(n.kids, nameHash(name), 0, name)
+	if removed == nil {
+		return nil, nil
+	}
+	c := n.clone()
+	c.kids = kids
+	c.nkids--
+	c.size -= removed.size
+	return c, removed
+}
+
+// eachChild iterates n's direct children.
+func (n *node) eachChild(fn func(*node) bool) {
+	amtIter(n.kids, fn)
+}
+
+// countNodes reports the subtree size (kept for readability at call
+// sites; O(1) thanks to the size field).
+func countNodes(n *node) int { return n.size }
