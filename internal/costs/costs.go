@@ -307,6 +307,14 @@ const (
 	// work §8): mark pages copy-on-write and seed the shared region.
 	CloneSnapshotPerMB = 450 * time.Microsecond
 
+	// CostStoreSnapshot is the flat price of asking the store daemon
+	// for a consistent snapshot of its tree. The immutable store
+	// captures its current root in O(1) — one protocol round trip plus
+	// daemon bookkeeping — so checkpoint and clone pay this constant
+	// instead of a per-node walk, regardless of how many guests are
+	// registered.
+	CostStoreSnapshot = 150 * time.Microsecond
+
 	// CloneWorkingSetFraction is the private memory a fresh clone
 	// needs before first divergence (the rest stays shared COW).
 	CloneWorkingSetFraction = 0.1

@@ -25,10 +25,10 @@ func init() {
 func extClone(o Options) (Result, error) {
 	images := []guest.Image{guest.Daytime(), guest.Minipython(), guest.TinyxNoop(), guest.DebianMinimal()}
 	t := metrics.NewTable("Extension: cold boot vs SnowFlock-style clone",
-		"idx", "boot_ms", "clone_ms", "boot_mb", "clone_mb")
+		"idx", "boot_ms", "clone_ms", "clone_xs_ms", "boot_mb", "clone_mb")
 	// Each guest class measures on its own host — run the four in
 	// parallel and emit rows in image order afterwards.
-	type cloneRow struct{ bootMS, cloneMS, bootMB, cloneMB, virtMS float64 }
+	type cloneRow struct{ bootMS, cloneMS, cloneXSMS, bootMB, cloneMB, virtMS float64 }
 	rows := make([]cloneRow, len(images))
 	err := o.runSeries(len(images), func(i int) error {
 		img := images[i]
@@ -61,7 +61,32 @@ func extClone(o Options) (Result, error) {
 		}
 		cloneMB := float64(h.MemoryUsedBytes()-memBase) / (1 << 20)
 		cloneMS := float64(clone.CreateTime) / float64(time.Millisecond)
-		rows[i] = cloneRow{bootMS, cloneMS, bootMB, cloneMB, h.Clock.Now().Milliseconds()}
+
+		// Store-backed clone on its own host: same fork, but the child
+		// inherits the parent's registry via an O(1) xenstore snapshot
+		// graft rather than a per-entry rewrite.
+		hxs, err := core.NewHost(sched.Machine{Name: "clone-host-xs", Cores: 4, Dom0Cores: 1, MemoryGB: 64}, o.Seed)
+		if err != nil {
+			return err
+		}
+		parentXS, err := hxs.CreateVM(toolstack.ModeChaosXS, "parent", img)
+		if err != nil {
+			return err
+		}
+		if _, err := hxs.CloneVM(parentXS, "warm"); err != nil {
+			return err
+		}
+		cloneXS, err := hxs.CloneVM(parentXS, "fast")
+		if err != nil {
+			return err
+		}
+		cloneXSMS := float64(cloneXS.CreateTime) / float64(time.Millisecond)
+
+		virt := h.Clock.Now().Milliseconds()
+		if v := hxs.Clock.Now().Milliseconds(); v > virt {
+			virt = v
+		}
+		rows[i] = cloneRow{bootMS, cloneMS, cloneXSMS, bootMB, cloneMB, virt}
 		return nil
 	})
 	if err != nil {
@@ -70,7 +95,7 @@ func extClone(o Options) (Result, error) {
 	names := ""
 	virtMS := make([]float64, len(rows))
 	for i, r := range rows {
-		t.AddRow(float64(i), r.bootMS, r.cloneMS, r.bootMB, r.cloneMB)
+		t.AddRow(float64(i), r.bootMS, r.cloneMS, r.cloneXSMS, r.bootMB, r.cloneMB)
 		virtMS[i] = r.virtMS
 		if i > 0 {
 			names += ", "
@@ -79,5 +104,6 @@ func extClone(o Options) (Result, error) {
 	}
 	t.Note("rows: %s", names)
 	t.Note("related work §8 (Potemkin): clones resume instead of booting and share COW memory; the win grows with guest weight")
+	t.Note("clone_xs_ms: store-backed clone whose registry arrives via an O(1) xenstore snapshot graft")
 	return Result{ID: "ext-clone", Paper: "§8: image cloning vs LightVM's general-purpose fast boots", Table: t, VirtualMS: maxOf(virtMS)}, nil
 }

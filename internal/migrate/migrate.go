@@ -27,6 +27,7 @@ import (
 	"lightvm/internal/hv"
 	"lightvm/internal/toolstack"
 	"lightvm/internal/xenbus"
+	"lightvm/internal/xenstore"
 )
 
 // Errors.
@@ -53,6 +54,12 @@ type Checkpoint struct {
 
 	// Blob is the serialized descriptor (what libxc would stream).
 	Blob []byte
+
+	// StoreState is the guest's control-plane registry — the serialized
+	// O(1) snapshot of its /local/domain/<id> subtree — for store-backed
+	// modes (nil on the noxs path, which has no store). Restore grafts
+	// it back under the new domain id by structural sharing.
+	StoreState []byte
 }
 
 // descriptor is the gob-encoded wire format.
@@ -138,10 +145,25 @@ func Save(e *toolstack.Env, vm *toolstack.VM) (*Checkpoint, time.Duration, error
 			retErr = err
 			return
 		}
+		var storeState []byte
+		if vm.Mode.UsesStore() {
+			// Capture the guest's registry subtree from an O(1) store
+			// snapshot: one flat charge regardless of how many guests
+			// populate the store (the old alternative — reading the
+			// subtree entry by entry — would cost a protocol round trip
+			// per node).
+			e.Clock.Sleep(costs.CostStoreSnapshot)
+			sub, err := e.Store.Snapshot().Subtree(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
+			if err != nil {
+				retErr = fmt.Errorf("migrate: save %q: %w", vm.Name, err)
+				return
+			}
+			storeState = sub.Serialize()
+		}
 		dumpCost(e, vm.Image.MemBytes)
 		cp = &Checkpoint{
 			Name: vm.Name, Image: vm.Image, Mode: vm.Mode,
-			MemBytes: vm.Image.MemBytes, Blob: blob,
+			MemBytes: vm.Image.MemBytes, Blob: blob, StoreState: storeState,
 		}
 	})
 	if retErr != nil {
@@ -183,6 +205,22 @@ func Restore(e *toolstack.Env, cp *Checkpoint) (*toolstack.VM, time.Duration, er
 	if desc.Name != cp.Name || desc.MemBytes != cp.MemBytes {
 		return nil, 0, fmt.Errorf("%w: descriptor mismatch for %q", ErrBadCheckpoint, cp.Name)
 	}
+	// Store-backed checkpoints carry the guest's frozen registry; the
+	// descriptor's devices must have their handshake entries in it, or
+	// the checkpoint was truncated or tampered with.
+	var storeSnap *xenstore.Snapshot
+	if cp.Mode.UsesStore() {
+		storeSnap, err = xenstore.DeserializeSnapshot(cp.StoreState)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %q store state: %v", ErrBadCheckpoint, cp.Name, err)
+		}
+		for i, k := range desc.Devices {
+			if !storeSnap.Exists(fmt.Sprintf("/device/%s/%d", k, i)) {
+				return nil, 0, fmt.Errorf("%w: %q device %s/%d missing from captured registry",
+					ErrBadCheckpoint, cp.Name, k, i)
+			}
+		}
+	}
 	vm := &toolstack.VM{Name: cp.Name, Image: cp.Image, Mode: cp.Mode, Core: e.Sched.Place()}
 	if err := e.Register(vm); err != nil {
 		return nil, 0, err
@@ -207,6 +245,18 @@ func Restore(e *toolstack.Env, cp *Checkpoint) (*toolstack.VM, time.Duration, er
 			return
 		}
 		loadCost(e, cp.MemBytes)
+		if storeSnap != nil {
+			// Graft the frozen registry under the new domain id: one
+			// store op, structural sharing — the restored guest's
+			// name/memory/control entries come back without a write per
+			// node. Device entries are re-negotiated below (fresh event
+			// channels and grants), overwriting the captured handshake
+			// state in place.
+			retErr = e.Store.GraftSnapshot(storeSnap, "/", fmt.Sprintf("/local/domain/%d", dom.ID))
+			if retErr != nil {
+				return
+			}
+		}
 		retErr = recreateDevices(e, vm)
 		if retErr != nil {
 			return
@@ -444,6 +494,11 @@ func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
 	}
 	if d.Name != cp.Name || d.MemBytes != cp.MemBytes {
 		return nil, fmt.Errorf("%w: %q fails integrity check", ErrBadCheckpoint, cp.Name)
+	}
+	if cp.Mode.UsesStore() {
+		if _, err := xenstore.DeserializeSnapshot(cp.StoreState); err != nil {
+			return nil, fmt.Errorf("%w: %q store state: %v", ErrBadCheckpoint, cp.Name, err)
+		}
 	}
 	return &cp, nil
 }

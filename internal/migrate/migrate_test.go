@@ -1,6 +1,7 @@
 package migrate
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -286,6 +287,68 @@ func TestCheckpointMarshalRoundTrip(t *testing.T) {
 	}
 	if _, err := UnmarshalCheckpoint([]byte("junk")); err == nil {
 		t.Fatal("junk checkpoint accepted")
+	}
+}
+
+func TestCheckpointCarriesStoreState(t *testing.T) {
+	clock := sim.NewClock()
+	e := newEnv(clock)
+	vm, _ := createVM(t, e, toolstack.ModeChaosXS, "xsvm")
+	oldDom := vm.Dom.ID
+	cp, _, err := Save(e, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.StoreState) == 0 {
+		t.Fatal("store-backed checkpoint carries no registry snapshot")
+	}
+	// A fresh host knows nothing about the guest; the graft must bring
+	// the registry entries back under the NEW domain id. The filler VM
+	// shifts the id space so reuse would be visible.
+	e2 := newEnv(clock)
+	createVM(t, e2, toolstack.ModeChaosXS, "filler")
+	restored, _, err := Restore(e2, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Dom.ID == oldDom {
+		t.Fatalf("restore reused domain id %d", oldDom)
+	}
+	path := fmt.Sprintf("/local/domain/%d/name", restored.Dom.ID)
+	if v, err := e2.Store.Read(path); err != nil || v != "xsvm" {
+		t.Fatalf("restored registry %s = %q, %v", path, v, err)
+	}
+
+	// Tampered registry state is rejected, both by the wire decoder and
+	// by Restore itself.
+	data, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *cp
+	bad.StoreState = append([]byte{}, cp.StoreState...)
+	bad.StoreState[len(bad.StoreState)-1] ^= 0xff
+	if _, _, err := Restore(newEnv(clock), &bad); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("tampered store state restore: %v", err)
+	}
+	if _, err := UnmarshalCheckpoint(data); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+	bad2 := *cp
+	bad2.StoreState = nil
+	if _, _, err := Restore(newEnv(clock), &bad2); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("missing store state restore: %v", err)
+	}
+
+	// noxs checkpoints stay store-free.
+	e3 := newEnv(clock)
+	vm3, _ := createVM(t, e3, toolstack.ModeChaosNoXS, "noxs")
+	cp3, _, err := Save(e3, vm3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp3.StoreState != nil {
+		t.Fatal("noxs checkpoint grew a store snapshot")
 	}
 }
 

@@ -60,6 +60,22 @@ func (e *Env) CloneVM(parent *VM, name string) (*VM, error) {
 		}
 		// Fresh devices: a clone must not share its parent's rings.
 		if vm.Mode.UsesStore() {
+			// The child inherits the parent's registry in one graft: an
+			// O(1) snapshot capture plus a single store op, instead of
+			// re-writing every entry. Device handshake state is then
+			// re-negotiated below with fresh rings, overwriting the
+			// captured entries in place.
+			e.Clock.Sleep(costs.CostStoreSnapshot)
+			sub, err := e.Store.Snapshot().Subtree(fmt.Sprintf("/local/domain/%d", parent.Dom.ID))
+			if err != nil {
+				retErr = err
+				return
+			}
+			if err := e.Store.GraftSnapshot(sub, "/", fmt.Sprintf("/local/domain/%d", dom.ID)); err != nil {
+				retErr = err
+				return
+			}
+			e.Store.Write(fmt.Sprintf("/local/domain/%d/name", dom.ID), name)
 			for i, dev := range img.Devices {
 				req := xenbus.DeviceReq{Kind: dev.Kind, Dom: dom.ID, Idx: i, MAC: dev.MAC}
 				if err := e.Store.Txn(8, func(tx *xenstore.Tx) error {
