@@ -1,167 +1,723 @@
 package xenstore
 
+// Model-checking harness: seeded random operation sequences run
+// against the copy-on-write store AND a deliberately dumb reference
+// model (a flat map of paths). Any divergence — values, listings,
+// errors, watch firings, quota accounting, transaction conflicts, or a
+// mid-sequence snapshot that fails to stay frozen — fails with the
+// seed and operation index, so a failure reproduces by seed alone.
+//
+// The reference model mirrors the store's *semantics*, including its
+// generation-bump discipline (parents bump when a child is created
+// beneath them, leaves bump on value writes, Rm bumps the parent,
+// SetPerm bumps nothing), so transaction conflict detection is
+// predicted exactly rather than approximated.
+
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"testing"
-	"testing/quick"
+	"time"
 )
 
-// Model-based testing: the store must agree with a trivial reference
-// model (a flat map plus implicit directories) under arbitrary op
-// sequences. This is the strongest guard we have on the tree logic
-// that every toolstack depends on.
+// ---------------------------------------------------------------------------
+// Reference model
+// ---------------------------------------------------------------------------
 
-type storeModel struct {
-	values map[string]string // path → value (leaf writes only)
+type refNode struct {
+	value string
+	owner int
+	perm  Perm
+	gen   uint64
 }
 
-func newModel() *storeModel { return &storeModel{values: make(map[string]string)} }
+type refWatch struct {
+	prefix string
+	token  string
+	active bool
+}
 
-func (m *storeModel) write(path, val string) { m.values[normalize(path)] = val }
+type watchEvent struct {
+	path  string
+	token string
+}
 
-func (m *storeModel) rm(path string) bool {
-	p := normalize(path)
-	found := false
-	for k := range m.values {
-		if k == p || strings.HasPrefix(k, p+"/") {
-			delete(m.values, k)
-			found = true
+type refStore struct {
+	nodes   map[string]*refNode // normalized path → node; "/" always present
+	gen     uint64
+	quota   int
+	owned   map[int]int
+	watches []*refWatch // registration order (matches store delivery order)
+	events  []watchEvent
+}
+
+func newRefStore(quota int) *refStore {
+	return &refStore{
+		nodes: map[string]*refNode{"/": {}},
+		quota: quota,
+		owned: map[int]int{},
+	}
+}
+
+func refParent(p string) string {
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+func (m *refStore) fire(path string) {
+	for _, w := range m.watches {
+		if w.active && watchMatches(w.prefix, path) {
+			m.events = append(m.events, watchEvent{path, w.token})
 		}
 	}
-	return found || m.isDir(p)
 }
 
-// isDir reports whether p is an implicit directory (prefix of some
-// value path) in the model.
-func (m *storeModel) isDir(p string) bool {
-	for k := range m.values {
-		if strings.HasPrefix(k, p+"/") {
-			return true
+// ensure creates missing components of p, owned by owner, bumping each
+// parent's generation at the moment of creation (the store's top-down
+// order). Reports how many components it created.
+func (m *refStore) ensure(owner int, p string) int {
+	segs := strings.Split(strings.Trim(p, "/"), "/")
+	cur, parent := "", "/"
+	created := 0
+	for _, seg := range segs {
+		cur += "/" + seg
+		if _, ok := m.nodes[cur]; !ok {
+			m.nodes[cur] = &refNode{owner: owner}
+			m.gen++
+			m.nodes[parent].gen = m.gen
+			created++
 		}
+		parent = cur
 	}
-	return false
+	return created
 }
 
-func (m *storeModel) read(path string) (string, bool) {
-	v, ok := m.values[normalize(path)]
-	return v, ok
-}
-
-// children lists direct children of p.
-func (m *storeModel) children(p string) []string {
-	p = normalize(p)
-	set := map[string]bool{}
-	for k := range m.values {
-		var rest string
-		if p == "/" {
-			rest = strings.TrimPrefix(k, "/")
-		} else if strings.HasPrefix(k, p+"/") {
-			rest = strings.TrimPrefix(k, p+"/")
-		} else {
+func (m *refStore) missing(p string) int {
+	segs := strings.Split(strings.Trim(p, "/"), "/")
+	cur, missing := "", 0
+	for _, seg := range segs {
+		cur += "/" + seg
+		if missing > 0 {
+			missing++
 			continue
 		}
-		if rest == "" {
+		if _, ok := m.nodes[cur]; !ok {
+			missing = 1
+		}
+	}
+	return missing
+}
+
+func (m *refStore) writeAs(owner int, p, value string) {
+	m.ensure(owner, p)
+	m.gen++
+	n := m.nodes[p]
+	n.gen = m.gen
+	n.value = value
+	m.fire(p)
+}
+
+func (m *refStore) writeAsGuest(owner int, p, value string) error {
+	if created := m.missing(p); created > 0 {
+		next := m.owned[owner] + created
+		if owner != 0 && m.quota > 0 && next > m.quota {
+			return ErrQuota
+		}
+		m.owned[owner] = next
+	}
+	m.writeAs(owner, p, value)
+	return nil
+}
+
+func (m *refStore) read(p string) (string, error) {
+	n, ok := m.nodes[p]
+	if !ok {
+		return "", ErrNoEnt
+	}
+	return n.value, nil
+}
+
+func (m *refStore) exists(p string) bool {
+	_, ok := m.nodes[p]
+	return ok
+}
+
+func (m *refStore) children(p string) []string {
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	var out []string
+	for q := range m.nodes {
+		if q == "/" || !strings.HasPrefix(q, prefix) {
 			continue
 		}
-		set[strings.SplitN(rest, "/", 2)[0]] = true
-	}
-	out := make([]string, 0, len(set))
-	for c := range set {
-		out = append(out, c)
+		rest := q[len(prefix):]
+		if !strings.ContainsRune(rest, '/') {
+			out = append(out, rest)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// modelPaths is a fixed path pool so random ops collide meaningfully.
-var modelPaths = []string{
-	"/local/domain/1/name",
-	"/local/domain/1/device/vif/0/state",
-	"/local/domain/2/name",
-	"/local/domain/2/device/vif/0/state",
-	"/local/domain/2/device/vbd/0/state",
-	"/vm/a/uuid",
-	"/vm/b/uuid",
-	"/tool/generation",
+func (m *refStore) directory(p string) ([]string, error) {
+	if !m.exists(p) {
+		return nil, ErrNoEnt
+	}
+	return m.children(p), nil
 }
 
-func TestStoreAgreesWithModel(t *testing.T) {
-	f := func(ops []uint16) bool {
-		s, _ := newStore()
-		s.LoggingEnabled = false
-		m := newModel()
-		for step, op := range ops {
-			path := modelPaths[int(op)%len(modelPaths)]
-			switch (op / 16) % 3 {
-			case 0: // write
-				val := fmt.Sprintf("v%d", step)
-				s.Write(path, val)
-				m.write(path, val)
-			case 1: // rm (of the leaf or one of its ancestors)
-				target := path
-				if op%2 == 0 {
-					// Remove an ancestor directory sometimes.
-					parts := strings.Split(strings.Trim(path, "/"), "/")
-					cut := 1 + int(op)%(len(parts)-1)
-					target = "/" + strings.Join(parts[:cut], "/")
-				}
-				gotErr := s.Rm(target) != nil
-				wantMissing := !m.rm(target)
-				// The store may retain empty directories after their
-				// leaves were removed, so it can succeed where the
-				// model says "missing". The reverse — an error where
-				// the model still has content — is a real bug.
-				if gotErr && !wantMissing {
-					t.Logf("step %d: rm(%s) errored but model has content", step, target)
-					return false
-				}
-			case 2: // read
-				got, err := s.Read(path)
-				want, ok := m.read(path)
-				if ok {
-					// Model leaf must exist with the same value…
-					if err != nil || got != want {
-						t.Logf("step %d: read(%s) = %q,%v want %q", step, path, got, err, want)
-						return false
-					}
-				} else if err == nil && got != "" {
-					// …absent model leaves may exist as empty
-					// directories in the store, but never with a value.
-					t.Logf("step %d: read(%s) = %q, model absent", step, path, got)
-					return false
-				}
-			}
+func (m *refStore) subtreeSize(p string) int {
+	count := 0
+	for q := range m.nodes {
+		if q == p || strings.HasPrefix(q, p+"/") {
+			count++
 		}
-		// Directory listings agree wherever the model has content.
-		for _, dir := range []string{"/local/domain", "/vm", "/local/domain/2/device"} {
-			want := m.children(dir)
-			got, err := s.Directory(dir)
-			if err != nil {
-				if len(want) != 0 {
-					t.Logf("Directory(%s) missing, model has %v", dir, want)
-					return false
-				}
-				continue
-			}
-			// The store may hold extra empty dirs (from writes whose
-			// leaves were removed individually); every model child must
-			// be present.
-			set := map[string]bool{}
-			for _, g := range got {
-				set[g] = true
-			}
-			for _, w := range want {
-				if !set[w] {
-					t.Logf("Directory(%s) = %v, missing %q", dir, got, w)
-					return false
-				}
-			}
+	}
+	return count
+}
+
+func (m *refStore) rm(p string) error {
+	if p == "/" {
+		return errors.New("cannot remove root")
+	}
+	if !m.exists(p) {
+		return ErrNoEnt
+	}
+	for q := range m.nodes {
+		if q == p || strings.HasPrefix(q, p+"/") {
+			delete(m.nodes, q)
 		}
+	}
+	m.gen++
+	m.nodes[refParent(p)].gen = m.gen
+	m.fire(p)
+	return nil
+}
+
+func (m *refStore) rmOwned(owner int, p string) error {
+	if !m.exists(p) {
+		return ErrNoEnt
+	}
+	removed := m.subtreeSize(p)
+	if err := m.rm(p); err != nil {
+		return err
+	}
+	if m.owned[owner] -= removed; m.owned[owner] <= 0 {
+		delete(m.owned, owner)
+	}
+	return nil
+}
+
+func (m *refStore) mkdir(p string) {
+	if m.ensure(0, p) > 0 {
+		m.fire(p)
+	}
+}
+
+func (m *refStore) setPerm(p string, owner int, perm Perm) error {
+	n, ok := m.nodes[p]
+	if !ok {
+		return ErrNoEnt
+	}
+	n.owner = owner
+	n.perm = perm
+	return nil
+}
+
+// mayRead / mayWrite mirror perms.go, including the plain HasPrefix on
+// the guest's own subtree.
+func (m *refStore) mayRead(domid int, p string, n *refNode) bool {
+	if domid == 0 || n.owner == domid {
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
+	if strings.HasPrefix(p, guestDomainPrefix(domid)) {
+		return true
+	}
+	return n.perm == PermRead || n.perm == PermBoth
+}
+
+func (m *refStore) mayWrite(domid int, p string, n *refNode) bool {
+	if domid == 0 || (n != nil && n.owner == domid) {
+		return true
+	}
+	if strings.HasPrefix(p, guestDomainPrefix(domid)) {
+		return true
+	}
+	return n != nil && (n.perm == PermWrite || n.perm == PermBoth)
+}
+
+func (m *refStore) guestRead(domid int, p string) (string, error) {
+	n, ok := m.nodes[p]
+	if !ok {
+		return "", ErrNoEnt
+	}
+	if !m.mayRead(domid, p, n) {
+		return "", ErrPermission
+	}
+	return n.value, nil
+}
+
+func (m *refStore) guestWrite(domid int, p, value string) error {
+	n := m.nodes[p]
+	if !m.mayWrite(domid, p, n) {
+		return ErrPermission
+	}
+	return m.writeAsGuest(domid, p, value)
+}
+
+func (m *refStore) writeUniqueName(dir, key, name string) error {
+	if m.exists(dir) {
+		for _, c := range m.children(dir) {
+			if m.nodes[dir+"/"+c].value == name {
+				return ErrExists
+			}
+		}
+	}
+	m.writeAs(0, dir+"/"+key, name)
+	return nil
+}
+
+// refTx mirrors txn.go's buffered transaction.
+type refTx struct {
+	startGen uint64
+	readGens map[string]uint64
+	writes   map[string]*string
+	order    []string
+}
+
+func (m *refStore) txnStart() *refTx {
+	return &refTx{
+		startGen: m.gen,
+		readGens: map[string]uint64{},
+		writes:   map[string]*string{},
+	}
+}
+
+func (t *refTx) observe(m *refStore, p string) {
+	if _, ok := t.readGens[p]; ok {
+		return
+	}
+	if n, ok := m.nodes[p]; ok {
+		t.readGens[p] = n.gen
+	} else {
+		t.readGens[p] = 0
+	}
+}
+
+func (t *refTx) read(m *refStore, p string) (string, error) {
+	if v, ok := t.writes[p]; ok {
+		if v == nil {
+			return "", ErrNoEnt
+		}
+		return *v, nil
+	}
+	t.observe(m, p)
+	return m.read(p)
+}
+
+func (t *refTx) exists(m *refStore, p string) bool {
+	if v, ok := t.writes[p]; ok {
+		return v != nil
+	}
+	t.observe(m, p)
+	return m.exists(p)
+}
+
+func (t *refTx) directory(m *refStore, p string) ([]string, error) {
+	t.observe(m, p)
+	names, err := m.directory(p)
+	if err != nil && len(t.writes) == 0 {
+		return nil, err
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	for wp, v := range t.writes {
+		if !strings.HasPrefix(wp, p+"/") {
+			continue
+		}
+		rest := strings.TrimPrefix(wp, p+"/")
+		first := strings.SplitN(rest, "/", 2)[0]
+		if v == nil && rest == first {
+			delete(set, first)
+		} else if v != nil {
+			set[first] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (t *refTx) write(p, v string) {
+	if _, ok := t.writes[p]; !ok {
+		t.order = append(t.order, p)
+	}
+	t.writes[p] = &v
+}
+
+func (t *refTx) rm(p string) {
+	if _, ok := t.writes[p]; !ok {
+		t.order = append(t.order, p)
+	}
+	t.writes[p] = nil
+}
+
+// commit reports whether the transaction conflicts (ErrAgain on the
+// real store) and applies it when it does not.
+func (t *refTx) commit(m *refStore) bool {
+	conflict := false
+	for p, g := range t.readGens {
+		n, ok := m.nodes[p]
+		if (!ok && g != 0) || (ok && n.gen != g) {
+			conflict = true
+			break
+		}
+	}
+	if !conflict {
+		for p := range t.writes {
+			if n, ok := m.nodes[p]; ok && n.gen > t.startGen {
+				conflict = true
+				break
+			}
+		}
+	}
+	if conflict {
+		return true
+	}
+	for _, p := range t.order {
+		if v := t.writes[p]; v == nil {
+			_ = m.rm(p)
+		} else {
+			m.writeAs(0, p, *v)
+		}
+	}
+	return false
+}
+
+// snapshotCopy deep-copies the model's node map for frozen comparison.
+func (m *refStore) snapshotCopy() map[string]refNode {
+	out := make(map[string]refNode, len(m.nodes))
+	for p, n := range m.nodes {
+		out[p] = *n
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+var modelSegs = []string{"a", "b", "c", "d", "local", "domain", "0", "1", "2", "3"}
+
+func randPath(r *rand.Rand) string {
+	depth := 1 + r.Intn(3)
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteByte('/')
+		sb.WriteString(modelSegs[r.Intn(len(modelSegs))])
+	}
+	return sb.String()
+}
+
+func randValue(r *rand.Rand) string {
+	return fmt.Sprintf("v%d", r.Intn(40))
+}
+
+// frozenPair is a mid-sequence snapshot with its model copy.
+type frozenPair struct {
+	opIndex int
+	sn      *Snapshot
+	want    map[string]refNode
+}
+
+// openTxn pairs a live transaction with its model twin.
+type openTxn struct {
+	tx *Tx
+	rt *refTx
+}
+
+func sameErr(got error, want error) bool {
+	if want == nil {
+		return got == nil
+	}
+	return errors.Is(got, want)
+}
+
+func runModelSequence(t *testing.T, seed int64, ops int) {
+	r := rand.New(rand.NewSource(seed))
+	s, _ := newStore()
+	const quota = 10 // small enough that guests hit ErrQuota in-sequence
+	s.SetNodeQuota(quota)
+	m := newRefStore(quota)
+
+	var realEvents []watchEvent
+	type liveWatch struct {
+		id WatchID
+		rw *refWatch
+	}
+	var watches []liveWatch
+
+	var txns []openTxn
+	var frozen []frozenPair
+
+	fail := func(op int, format string, args ...any) {
+		t.Helper()
+		t.Fatalf("seed %d op %d: %s", seed, op, fmt.Sprintf(format, args...))
+	}
+
+	for op := 0; op < ops; op++ {
+		switch k := r.Intn(100); {
+		case k < 18: // Dom0 write
+			p, v := randPath(r), randValue(r)
+			s.Write(p, v)
+			m.writeAs(0, p, v)
+		case k < 26: // guest write under quota
+			owner, p, v := 1+r.Intn(3), randPath(r), randValue(r)
+			gotErr := s.WriteAsGuest(owner, p, v)
+			wantErr := m.writeAsGuest(owner, p, v)
+			if !sameErr(gotErr, wantErr) {
+				fail(op, "WriteAsGuest(%d, %q): store %v, model %v", owner, p, gotErr, wantErr)
+			}
+		case k < 30: // ACL-checked guest write
+			domid, p, v := 1+r.Intn(3), randPath(r), randValue(r)
+			gotErr := s.GuestWrite(domid, p, v)
+			wantErr := m.guestWrite(domid, p, v)
+			if !sameErr(gotErr, wantErr) {
+				fail(op, "GuestWrite(%d, %q): store %v, model %v", domid, p, gotErr, wantErr)
+			}
+		case k < 40: // read
+			p := randPath(r)
+			got, gotErr := s.Read(p)
+			want, wantErr := m.read(p)
+			if got != want || !sameErr(gotErr, wantErr) {
+				fail(op, "Read(%q): store (%q, %v), model (%q, %v)", p, got, gotErr, want, wantErr)
+			}
+		case k < 44: // guest read with ACLs
+			domid, p := 1+r.Intn(3), randPath(r)
+			got, gotErr := s.GuestRead(domid, p)
+			want, wantErr := m.guestRead(domid, p)
+			if got != want || !sameErr(gotErr, wantErr) {
+				fail(op, "GuestRead(%d, %q): store (%q, %v), model (%q, %v)", domid, p, got, gotErr, want, wantErr)
+			}
+		case k < 49: // exists
+			p := randPath(r)
+			if got, want := s.Exists(p), m.exists(p); got != want {
+				fail(op, "Exists(%q): store %v, model %v", p, got, want)
+			}
+		case k < 56: // directory
+			p := randPath(r)
+			got, gotErr := s.Directory(p)
+			want, wantErr := m.directory(p)
+			if !sameErr(gotErr, wantErr) || !equalStrings(got, want) {
+				fail(op, "Directory(%q): store (%v, %v), model (%v, %v)", p, got, gotErr, want, wantErr)
+			}
+		case k < 61: // rm
+			p := randPath(r)
+			gotErr := s.Rm(p)
+			wantErr := m.rm(p)
+			if !sameErr(gotErr, wantErr) {
+				fail(op, "Rm(%q): store %v, model %v", p, gotErr, wantErr)
+			}
+		case k < 63: // rm with quota return
+			owner, p := 1+r.Intn(3), randPath(r)
+			gotErr := s.RmOwned(owner, p)
+			wantErr := m.rmOwned(owner, p)
+			if !sameErr(gotErr, wantErr) {
+				fail(op, "RmOwned(%d, %q): store %v, model %v", owner, p, gotErr, wantErr)
+			}
+		case k < 66: // mkdir
+			p := randPath(r)
+			s.Mkdir(p)
+			m.mkdir(p)
+		case k < 70: // setperm (no generation bump)
+			p, owner, perm := randPath(r), r.Intn(4), Perm(r.Intn(4))
+			gotErr := s.SetPerm(p, owner, perm)
+			wantErr := m.setPerm(p, owner, perm)
+			if !sameErr(gotErr, wantErr) {
+				fail(op, "SetPerm(%q): store %v, model %v", p, gotErr, wantErr)
+			}
+		case k < 72: // permof
+			p := randPath(r)
+			gotO, gotP, gotErr := s.PermOf(p)
+			n, ok := m.nodes[p]
+			if !ok {
+				if !errors.Is(gotErr, ErrNoEnt) {
+					fail(op, "PermOf(%q): store %v, model ErrNoEnt", p, gotErr)
+				}
+			} else if gotErr != nil || gotO != n.owner || gotP != n.perm {
+				fail(op, "PermOf(%q): store (%d, %v, %v), model (%d, %v)", p, gotO, gotP, gotErr, n.owner, n.perm)
+			}
+		case k < 74: // unique-name registration
+			dir, key, name := randPath(r), modelSegs[r.Intn(len(modelSegs))], randValue(r)
+			gotErr := s.WriteUniqueName(dir, key, name)
+			wantErr := m.writeUniqueName(dir, key, name)
+			if !sameErr(gotErr, wantErr) {
+				fail(op, "WriteUniqueName(%q, %q, %q): store %v, model %v", dir, key, name, gotErr, wantErr)
+			}
+		case k < 77: // register a watch
+			p, tok := randPath(r), fmt.Sprintf("t%d", r.Intn(8))
+			rw := &refWatch{prefix: p, token: tok, active: true}
+			id := s.Watch(p, tok, func(path, token string) {
+				realEvents = append(realEvents, watchEvent{path, token})
+			})
+			m.watches = append(m.watches, rw)
+			watches = append(watches, liveWatch{id: id, rw: rw})
+		case k < 79: // drop a watch
+			if len(watches) > 0 {
+				i := r.Intn(len(watches))
+				s.Unwatch(watches[i].id)
+				watches[i].rw.active = false
+				watches = append(watches[:i], watches[i+1:]...)
+			}
+		case k < 82: // freeze a snapshot mid-sequence
+			frozen = append(frozen, frozenPair{opIndex: op, sn: s.Snapshot(), want: m.snapshotCopy()})
+		default: // transaction step (interleaved: up to 3 open at once)
+			if len(txns) < 3 && (len(txns) == 0 || r.Intn(2) == 0) {
+				txns = append(txns, openTxn{tx: s.TxnStart(), rt: m.txnStart()})
+				continue
+			}
+			i := r.Intn(len(txns))
+			o := txns[i]
+			switch r.Intn(7) {
+			case 0: // txn read
+				p := randPath(r)
+				got, gotErr := o.tx.Read(p)
+				want, wantErr := o.rt.read(m, p)
+				if got != want || !sameErr(gotErr, wantErr) {
+					fail(op, "Tx.Read(%q): store (%q, %v), model (%q, %v)", p, got, gotErr, want, wantErr)
+				}
+			case 1: // txn exists
+				p := randPath(r)
+				if got, want := o.tx.Exists(p), o.rt.exists(m, p); got != want {
+					fail(op, "Tx.Exists(%q): store %v, model %v", p, got, want)
+				}
+			case 2: // txn directory
+				p := randPath(r)
+				got, gotErr := o.tx.Directory(p)
+				want, wantErr := o.rt.directory(m, p)
+				if !sameErr(gotErr, wantErr) || !equalStrings(got, want) {
+					fail(op, "Tx.Directory(%q): store (%v, %v), model (%v, %v)", p, got, gotErr, want, wantErr)
+				}
+			case 3: // txn write
+				p, v := randPath(r), randValue(r)
+				o.tx.Write(p, v)
+				o.rt.write(p, v)
+			case 4: // txn rm
+				p := randPath(r)
+				o.tx.Rm(p)
+				o.rt.rm(p)
+			case 5: // commit — conflict prediction must match exactly
+				gotErr := o.tx.Commit()
+				wantConflict := o.rt.commit(m)
+				if wantConflict != errors.Is(gotErr, ErrAgain) || (!wantConflict && gotErr != nil) {
+					fail(op, "Tx.Commit: store %v, model conflict=%v", gotErr, wantConflict)
+				}
+				txns = append(txns[:i], txns[i+1:]...)
+			case 6: // abort
+				o.tx.Abort()
+				txns = append(txns[:i], txns[i+1:]...)
+			}
+		}
+
+		if len(realEvents) != len(m.events) {
+			fail(op, "watch event count diverged: store %d, model %d (store %v, model %v)",
+				len(realEvents), len(m.events), realEvents, m.events)
+		}
+	}
+
+	for _, o := range txns {
+		o.tx.Abort()
+	}
+
+	// Watch firing order and content must match event-for-event.
+	for i := range m.events {
+		if realEvents[i] != m.events[i] {
+			t.Fatalf("seed %d: watch event %d diverged: store %+v, model %+v", seed, i, realEvents[i], m.events[i])
+		}
+	}
+
+	// Full end-state equivalence, read through a snapshot so the
+	// comparison itself charges nothing.
+	end := s.Snapshot()
+	if got, want := end.NumNodes(), len(m.nodes); got != want {
+		t.Fatalf("seed %d: node count: store %d, model %d", seed, got, want)
+	}
+	for p, n := range m.nodes {
+		v, err := end.Read(p)
+		if err != nil || v != n.value {
+			t.Fatalf("seed %d: end state %q: store (%q, %v), model %q", seed, p, v, err, n.value)
+		}
+		got, err := end.Directory(p)
+		if err != nil || !equalStrings(got, m.children(p)) {
+			t.Fatalf("seed %d: end children of %q: store (%v, %v), model %v", seed, p, got, err, m.children(p))
+		}
+	}
+	for owner := 1; owner <= 3; owner++ {
+		if got, want := s.OwnerNodes(owner), m.owned[owner]; got != want {
+			t.Fatalf("seed %d: quota ledger for domain %d: store %d, model %d", seed, owner, got, want)
+		}
+	}
+
+	// Every mid-sequence snapshot must still match the model copy taken
+	// at the same instant — frozen, regardless of everything since.
+	for _, fz := range frozen {
+		if got, want := fz.sn.NumNodes(), len(fz.want); got != want {
+			t.Fatalf("seed %d: snapshot@op%d node count: store %d, model %d", seed, fz.opIndex, got, want)
+		}
+		for p, n := range fz.want {
+			v, err := fz.sn.Read(p)
+			if err != nil || v != n.value {
+				t.Fatalf("seed %d: snapshot@op%d %q: store (%q, %v), model %q", seed, fz.opIndex, p, v, err, n.value)
+			}
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestModelCheckStore runs ≥1,000 seeded sequences (the acceptance
+// floor) of ~90 operations each. A failure message carries the seed;
+// rerun with -run TestModelCheckStore on the same build to reproduce.
+func TestModelCheckStore(t *testing.T) {
+	const sequences = 1200
+	const opsPerSequence = 90
+	start := time.Now()
+	for seed := int64(1); seed <= sequences; seed++ {
+		runModelSequence(t, seed, opsPerSequence)
+	}
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("model check took %v for %d sequences, budget is 30s", d, sequences)
+	}
+}
+
+// TestModelCheckLongSequences drives fewer but much longer sequences,
+// deep enough for log rotation (13,215 lines) and quota churn to occur
+// inside a single store lifetime.
+func TestModelCheckLongSequences(t *testing.T) {
+	for seed := int64(10_000); seed < 10_004; seed++ {
+		runModelSequence(t, seed, 4000)
 	}
 }

@@ -167,17 +167,24 @@ func segments(path string) segIter {
 	return segIter{rest: strings.Trim(path, "/")}
 }
 
-// next returns the following component, or ok=false at the end.
+// next returns the following component, or ok=false at the end. Empty
+// components ("//" runs) are skipped, so every node name the store ever
+// creates is a valid segment — which keeps snapshot serialization
+// canonical for any reachable tree (FuzzPath leans on this).
 func (it *segIter) next() (seg string, ok bool) {
-	if it.rest == "" {
-		return "", false
+	for {
+		if it.rest == "" {
+			return "", false
+		}
+		if i := strings.IndexByte(it.rest, '/'); i >= 0 {
+			seg, it.rest = it.rest[:i], it.rest[i+1:]
+		} else {
+			seg, it.rest = it.rest, ""
+		}
+		if seg != "" {
+			return seg, true
+		}
 	}
-	if i := strings.IndexByte(it.rest, '/'); i >= 0 {
-		seg, it.rest = it.rest[:i], it.rest[i+1:]
-	} else {
-		seg, it.rest = it.rest, ""
-	}
-	return seg, true
 }
 
 // firstSegment returns the first component of path ("" for the root).
