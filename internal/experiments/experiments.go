@@ -33,6 +33,13 @@ type Options struct {
 	// series owns its clock, host and RNG, and output assembly is
 	// deterministic.
 	Parallel int
+
+	// sampler attributes a parallel run's allocations to figures.
+	// RunMany sets it (with samplerJob) on the per-figure Options it
+	// passes down, and nested runSeries pools meter their workers
+	// against it. Never set by callers.
+	sampler    *allocSampler
+	samplerJob int
 }
 
 // normalize applies defaults.
@@ -113,9 +120,10 @@ type Result struct {
 	VirtualMS float64
 	// Wall is the real time the generator took (set by RunMany/RunAll).
 	Wall time.Duration
-	// Allocs is the number of heap allocations the generator performed.
-	// Only meaningful on sequential runs (Parallel == 1): Go exposes no
-	// per-goroutine allocation counter, so parallel runs report 0.
+	// Allocs is the number of heap allocations the generator performed:
+	// exact on sequential runs (Parallel == 1), a sampling-based
+	// estimate on parallel runs (Go exposes no per-goroutine allocation
+	// counter — see allocSampler in runner.go).
 	Allocs uint64
 }
 

@@ -57,6 +57,39 @@ func TestRunManyRecordsWall(t *testing.T) {
 	}
 }
 
+// TestSampledAllocsMatchSequential holds the parallel-run allocation
+// estimate to the sequential measurement. The workload is a fixed
+// homogeneous fan-out (four copies of the same figure), where the
+// sampler's CPU-weighted attribution has no cross-figure
+// allocation-density skew to absorb; per-figure estimates must land
+// within 10% of the exact sequential count even when the host
+// time-slices all four figures over a single core.
+func TestSampledAllocsMatchSequential(t *testing.T) {
+	ids := []string{"fig05", "fig05", "fig05", "fig05"}
+	seq := Options{Scale: 0.25, Seed: 5, Samples: 6, Parallel: 1}
+	par := seq
+	par.Parallel = 4
+
+	want, err := RunMany(ids, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunMany(ids, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		exact, sampled := float64(want[i].Allocs), float64(got[i].Allocs)
+		if exact == 0 {
+			t.Fatalf("figure %d: sequential run recorded 0 allocations", i)
+		}
+		if diff := (sampled - exact) / exact; diff > 0.10 || diff < -0.10 {
+			t.Errorf("figure %d: sampled allocs %.0f vs sequential %.0f (%.1f%% off, budget ±10%%)",
+				i, sampled, exact, diff*100)
+		}
+	}
+}
+
 // TestRunSeriesErrorDeterminism: the pool reports the lowest-indexed
 // failure no matter which worker hits its error first.
 func TestRunSeriesErrorDeterminism(t *testing.T) {

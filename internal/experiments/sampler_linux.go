@@ -1,0 +1,34 @@
+//go:build linux
+
+package experiments
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// threadCPUClock identifies one OS thread's CPU-time clock. Linux
+// exposes every thread's scheduler clock to the whole process by
+// encoding the tid into a clockid (MAKE_THREAD_CPUCLOCK in
+// linux/posix-timers.h: per-thread bit 4, clock type CPUCLOCK_SCHED 2),
+// so the sampler goroutine can meter worker threads it does not run on.
+type threadCPUClock int32
+
+// currentThreadClock returns the calling thread's CPU clock handle.
+// The caller must be locked to its OS thread for the handle to keep
+// meaning anything.
+func currentThreadClock() threadCPUClock {
+	tid := syscall.Gettid()
+	return threadCPUClock((^tid)<<3 | 6)
+}
+
+// read returns the thread's consumed CPU time in nanoseconds, 0 if the
+// clock is unavailable (dead thread, unsupported kernel).
+func (c threadCPUClock) read() int64 {
+	var ts syscall.Timespec
+	if _, _, errno := syscall.RawSyscall(syscall.SYS_CLOCK_GETTIME,
+		uintptr(int(c)), uintptr(unsafe.Pointer(&ts)), 0); errno != 0 {
+		return 0
+	}
+	return ts.Nano()
+}

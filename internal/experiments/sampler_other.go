@@ -1,0 +1,12 @@
+//go:build !linux
+
+package experiments
+
+// threadCPUClock is unavailable off Linux; every read is 0, which
+// makes allocSampler fall back to splitting each interval evenly among
+// the jobs that have registered threads.
+type threadCPUClock struct{}
+
+func currentThreadClock() threadCPUClock { return threadCPUClock{} }
+
+func (threadCPUClock) read() int64 { return 0 }

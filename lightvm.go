@@ -166,8 +166,9 @@ type ExperimentResult struct {
 	// VirtualMS is the figure's simulated makespan in milliseconds
 	// (0 = not instrumented by the generator).
 	VirtualMS float64
-	// Allocs is the generator's heap-allocation count; recorded only
-	// on sequential runs (parallel == 1), 0 otherwise.
+	// Allocs is the generator's heap-allocation count: exact on
+	// sequential runs (parallel == 1), a sampling-based estimate on
+	// parallel runs.
 	Allocs uint64
 }
 
