@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race race bench bench-smoke clean
+.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore bench bench-smoke clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,20 @@ verify-race: build
 
 race:
 	$(GO) test -race ./...
+
+# 20-second smoke of each xenstore fuzz target (native Go fuzzing,
+# seeded by the checked-in corpora under
+# internal/xenstore/testdata/fuzz plus the f.Add seeds).
+fuzz-smoke:
+	$(GO) test ./internal/xenstore -run '^$$' -fuzz '^FuzzPath$$' -fuzztime 20s
+	$(GO) test ./internal/xenstore -run '^$$' -fuzz '^FuzzSnapshotRoundTrip$$' -fuzztime 20s
+
+# Line-coverage gate for the store: the unit suite plus the
+# model-checking harness must keep internal/xenstore at or above 80%.
+cover-xenstore:
+	$(GO) test ./internal/xenstore -coverprofile=xenstore.cover > /dev/null
+	@$(GO) tool cover -func=xenstore.cover | awk '/^total:/ { print "xenstore line coverage: " $$3; if ($$3 + 0 < 80) { print "FAIL: below the 80% gate"; exit 1 } }'
+	@rm -f xenstore.cover
 
 # Full-scale replay of every figure with a JSON timing report.
 bench:
