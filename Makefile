@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore bench bench-smoke clean
+.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke profile-smoke clean
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,7 @@ test:
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments ./internal/xenstore ./internal/sim
+	$(GO) test -race ./internal/experiments ./internal/xenstore ./internal/sim ./internal/profiling ./cmd/lightvm-bench
 
 # Full gate with the race detector over every package (slower than
 # `verify`, which races only the concurrency-bearing ones).
@@ -38,6 +38,25 @@ cover-xenstore:
 	@$(GO) tool cover -func=xenstore.cover | awk '/^total:/ { print "xenstore line coverage: " $$3; if ($$3 + 0 < 80) { print "FAIL: below the 80% gate"; exit 1 } }'
 	@rm -f xenstore.cover
 
+# Coverage HTML for the xenstore suite (uploaded as a CI artifact).
+cover-html:
+	$(GO) test ./internal/xenstore -coverprofile=xenstore.cover > /dev/null
+	$(GO) tool cover -html=xenstore.cover -o coverage-xenstore.html
+	@rm -f xenstore.cover
+
+# Profiling smoke: one store-heavy figure at small scale with CPU+heap
+# capture. Asserts both pprof files were written non-empty and that the
+# JSON report carries the subsystem attribution block.
+profile-smoke:
+	$(GO) run ./cmd/lightvm-bench -exp fig12a -scale 0.05 -parallel 1 \
+		-profile=cpu,heap -profile-dir profiles -json -out profiles/profile-smoke.json
+	@for f in profiles/fig12a.cpu.pb.gz profiles/fig12a.heap.pb.gz; do \
+		[ -s $$f ] || { echo "FAIL: $$f missing or empty"; exit 1; }; \
+	done
+	@grep -q '"heap_delta_bytes"' profiles/profile-smoke.json \
+		|| { echo "FAIL: no attribution block in profiles/profile-smoke.json"; exit 1; }
+	@echo "profile-smoke: per-figure profiles and attribution OK"
+
 # Full-scale replay of every figure with a JSON timing report.
 bench:
 	$(GO) run ./cmd/lightvm-bench -exp all -parallel 0 -json
@@ -51,4 +70,5 @@ bench-smoke:
 	$(GO) run ./cmd/lightvm-bench -exp ext-faults -scale 0.02 -seed 7 -parallel 0
 
 clean:
-	rm -f BENCH_*.json
+	rm -f BENCH_*.json *.cover coverage-xenstore.html
+	rm -rf profiles

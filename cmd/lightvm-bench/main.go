@@ -6,6 +6,8 @@
 //	lightvm-bench -exp all -scale 0.1   # everything, 10% guest counts
 //	lightvm-bench -exp all -parallel 1  # force a sequential replay
 //	lightvm-bench -exp all -json        # also write BENCH_<date>.json
+//	lightvm-bench -exp all -json -out results/bench.json
+//	lightvm-bench -exp fig12a -profile=cpu,heap -profile-dir profiles
 //	lightvm-bench -list
 //
 // Each figure prints as a fixed-width table with the paper's series as
@@ -13,13 +15,24 @@
 // paper (fig01..fig18 plus tbl-guests). Figures run on a bounded
 // worker pool (-parallel; 0 = one worker per core) and print in a
 // fixed order, byte-identical to a sequential run.
+//
+// -profile captures a pprof CPU and/or heap profile per figure
+// (<id>.cpu.pb.gz / <id>.heap.pb.gz under -profile-dir; open them with
+// `go tool pprof`) and adds a per-figure subsystem attribution summary
+// to the output and the -json report. CPU profiling is process-global,
+// so on parallel runs profiled figures take turns on a profiling token
+// while unprofiled figures keep the pool busy; use -profile-figs to
+// profile a subset, or -parallel 1 for fully clean profiles.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"lightvm"
@@ -27,10 +40,11 @@ import (
 
 // benchFigure is one figure's timing record in the -json report.
 type benchFigure struct {
-	ID        string  `json:"id"`
-	WallMS    float64 `json:"wall_ms"`
-	Allocs    uint64  `json:"allocs"`
-	VirtualMS float64 `json:"virtual_ms"`
+	ID        string                     `json:"id"`
+	WallMS    float64                    `json:"wall_ms"`
+	Allocs    uint64                     `json:"allocs"`
+	VirtualMS float64                    `json:"virtual_ms"`
+	Profile   *lightvm.ExperimentProfile `json:"profile,omitempty"`
 }
 
 // benchReport is the -json output schema.
@@ -44,20 +58,61 @@ type benchReport struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (figNN, tbl-guests) or 'all'")
-	scale := flag.Float64("scale", 1.0, "guest-count scale relative to the paper (1.0 = full)")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	parallel := flag.Int("parallel", 0, "worker-pool size (0 = one per core, 1 = sequential)")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	plot := flag.Bool("plot", false, "render each figure as an ASCII chart too")
-	jsonOut := flag.Bool("json", false, "write per-figure timings to BENCH_<date>.json")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: parse args, run figures, render. It
+// returns the process exit code (0 ok, 1 runtime failure, 2 flag
+// error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lightvm-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment id (figNN, tbl-guests) or 'all'")
+	scale := fs.Float64("scale", 1.0, "guest-count scale relative to the paper (1.0 = full)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = one per core, 1 = sequential)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	plot := fs.Bool("plot", false, "render each figure as an ASCII chart too")
+	jsonOut := fs.Bool("json", false, "write per-figure timings to BENCH_<date>.json (see -out)")
+	out := fs.String("out", "", "path for the -json report (default BENCH_<date>.json in the current directory)")
+	profile := fs.String("profile", "", "comma-separated pprof captures per figure: cpu, heap")
+	profileDir := fs.String("profile-dir", "profiles", "directory for <id>.cpu.pb.gz / <id>.heap.pb.gz files")
+	profileFigs := fs.String("profile-figs", "", "comma-separated figure ids to profile (default: all figures in the run)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, id := range lightvm.Experiments() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
+	}
+
+	opts := lightvm.ExperimentOptions{
+		Scale: *scale, Seed: *seed, Parallel: *parallel,
+		ProfileDir: *profileDir,
+	}
+	if *profile != "" {
+		for _, mode := range strings.Split(*profile, ",") {
+			switch strings.TrimSpace(mode) {
+			case "cpu":
+				opts.ProfileCPU = true
+			case "heap":
+				opts.ProfileHeap = true
+			case "":
+			default:
+				fmt.Fprintf(stderr, "lightvm-bench: unknown -profile mode %q (want cpu, heap)\n", mode)
+				return 2
+			}
+		}
+	}
+	if *profileFigs != "" {
+		for _, id := range strings.Split(*profileFigs, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				opts.ProfileFigures = append(opts.ProfileFigures, id)
+			}
+		}
 	}
 
 	ids := []string{*exp}
@@ -65,21 +120,24 @@ func main() {
 		ids = lightvm.Experiments()
 	}
 	start := time.Now()
-	results, err := lightvm.RunExperiments(ids, *scale, *seed, *parallel)
+	results, err := lightvm.RunExperimentsOpts(ids, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lightvm-bench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "lightvm-bench: %v\n", err)
+		return 1
 	}
 	total := time.Since(start)
 	for _, res := range results {
-		fmt.Printf("%s", res.Output)
+		fmt.Fprintf(stdout, "%s", res.Output)
 		if *plot && res.Plot != "" {
-			fmt.Println(res.Plot)
+			fmt.Fprintln(stdout, res.Plot)
 		}
-		fmt.Printf("paper: %s\n", res.Paper)
-		fmt.Printf("(generated in %v wall time)\n\n", time.Duration(res.WallMS*1e6).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "paper: %s\n", res.Paper)
+		if res.Profile != nil {
+			fmt.Fprint(stdout, res.Profile.Text)
+		}
+		fmt.Fprintf(stdout, "(generated in %v wall time)\n\n", time.Duration(res.WallMS*1e6).Round(time.Millisecond))
 	}
-	fmt.Printf("total: %d figure(s) in %v wall time\n", len(results), total.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "total: %d figure(s) in %v wall time\n", len(results), total.Round(time.Millisecond))
 
 	if *jsonOut {
 		report := benchReport{
@@ -91,19 +149,30 @@ func main() {
 		}
 		for _, res := range results {
 			report.Figures = append(report.Figures, benchFigure{
-				ID: res.ID, WallMS: res.WallMS, Allocs: res.Allocs, VirtualMS: res.VirtualMS,
+				ID: res.ID, WallMS: res.WallMS, Allocs: res.Allocs,
+				VirtualMS: res.VirtualMS, Profile: res.Profile,
 			})
 		}
-		name := fmt.Sprintf("BENCH_%s.json", report.Date)
+		name := *out
+		if name == "" {
+			name = fmt.Sprintf("BENCH_%s.json", report.Date)
+		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lightvm-bench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "lightvm-bench: %v\n", err)
+			return 1
+		}
+		if dir := filepath.Dir(name); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintf(stderr, "lightvm-bench: %v\n", err)
+				return 1
+			}
 		}
 		if err := os.WriteFile(name, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "lightvm-bench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "lightvm-bench: %v\n", err)
+			return 1
 		}
-		fmt.Printf("wrote %s\n", name)
+		fmt.Fprintf(stdout, "wrote %s\n", name)
 	}
+	return 0
 }

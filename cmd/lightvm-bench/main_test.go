@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runCLI invokes the CLI body in-process and returns (stdout, stderr,
+// exit code).
+func runCLI(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), code
+}
+
+func TestList(t *testing.T) {
+	out, errOut, code := runCLI(t, "-list")
+	if code != 0 || errOut != "" {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	ids := strings.Fields(out)
+	for _, want := range []string{"fig01", "fig09", "fig12a", "tbl-guests", "ext-clone"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("-list missing %s:\n%s", want, out)
+		}
+	}
+	if !sort.StringsAreSorted(ids) {
+		t.Fatalf("-list output unsorted:\n%s", out)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	_, errOut, code := runCLI(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (stderr %q)", code, errOut)
+	}
+	if !strings.Contains(errOut, "flag") {
+		t.Fatalf("stderr %q has no flag diagnostic", errOut)
+	}
+}
+
+func TestBadProfileModeExitsTwo(t *testing.T) {
+	_, errOut, code := runCLI(t, "-exp", "fig01", "-profile", "gpu")
+	if code != 2 || !strings.Contains(errOut, `unknown -profile mode "gpu"`) {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+}
+
+func TestUnknownExperimentExitsOne(t *testing.T) {
+	out, errOut, code := runCLI(t, "-exp", "fig99")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stdout %q)", code, out)
+	}
+	if !strings.Contains(errOut, "unknown id") {
+		t.Fatalf("stderr %q missing unknown-id diagnostic", errOut)
+	}
+}
+
+func TestRunFigureWithJSONOut(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "nested", "bench.json")
+	out, errOut, code := runCLI(t, "-exp", "fig01", "-scale", "0.05", "-seed", "3",
+		"-parallel", "1", "-json", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"# ", "paper:", "total: 1 figure(s)", "wrote " + outPath} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	buf, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("-out report not written: %v", err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if report.Scale != 0.05 || report.Seed != 3 || report.Parallel != 1 {
+		t.Fatalf("report header %+v", report)
+	}
+	if len(report.Figures) != 1 || report.Figures[0].ID != "fig01" {
+		t.Fatalf("report figures %+v", report.Figures)
+	}
+	if report.Figures[0].Profile != nil {
+		t.Fatal("unprofiled run carries a profile in the report")
+	}
+}
+
+func TestDefaultJSONPathIsDated(t *testing.T) {
+	// Without -out the report lands in the CWD as BENCH_<date>.json.
+	oldWD, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(oldWD)
+	_, errOut, code := runCLI(t, "-exp", "fig01", "-scale", "0.05", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	want := "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+		t.Fatalf("default report missing: %v", err)
+	}
+}
+
+func TestPlotFlag(t *testing.T) {
+	out, errOut, code := runCLI(t, "-exp", "fig02", "-scale", "0.05", "-parallel", "1", "-plot")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	// The ASCII chart carries an x-axis legend and the log-scale tag.
+	if !strings.Contains(out, "x=") || !strings.Contains(out, "(log y)") {
+		t.Fatalf("-plot output missing chart:\n%s", out)
+	}
+}
+
+func TestProfileEndToEnd(t *testing.T) {
+	old := runtime.MemProfileRate
+	runtime.MemProfileRate = 32 << 10
+	defer func() { runtime.MemProfileRate = old }()
+
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+	out, errOut, code := runCLI(t, "-exp", "fig12a", "-scale", "0.05", "-parallel", "1",
+		"-profile", "cpu,heap", "-profile-dir", dir, "-json", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, name := range []string{"fig12a.cpu.pb.gz", "fig12a.heap.pb.gz"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", name)
+		}
+	}
+	if !strings.Contains(out, "profile heap:") {
+		t.Fatalf("stdout missing attribution line:\n%s", out)
+	}
+	var report benchReport
+	buf, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatal(err)
+	}
+	prof := report.Figures[0].Profile
+	if prof == nil {
+		t.Fatal("report has no profile block")
+	}
+	if prof.CPUFile == "" || prof.HeapFile == "" {
+		t.Fatalf("profile paths missing: %+v", prof)
+	}
+	if len(prof.Heap) == 0 || prof.HeapDeltaBytes <= 0 {
+		t.Fatalf("heap attribution empty: %+v", prof)
+	}
+	simulatorPkg := false
+	for _, c := range prof.Heap {
+		if strings.HasPrefix(c.Subsystem, "internal/") || c.Subsystem == "lightvm" {
+			simulatorPkg = true
+		}
+	}
+	if !simulatorPkg {
+		t.Fatalf("no simulator package in heap top-5: %+v", prof.Heap)
+	}
+}

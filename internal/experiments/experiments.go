@@ -33,6 +33,10 @@ type Options struct {
 	// series owns its clock, host and RNG, and output assembly is
 	// deterministic.
 	Parallel int
+	// Profile selects per-figure pprof capture (CPU/heap profiles per
+	// generator plus a subsystem attribution summary on Result.Profile;
+	// see profile.go). Zero value = no profiling.
+	Profile ProfileOptions
 
 	// sampler attributes a parallel run's allocations to figures.
 	// RunMany sets it (with samplerJob) on the per-figure Options it
@@ -40,6 +44,10 @@ type Options struct {
 	// against it. Never set by callers.
 	sampler    *allocSampler
 	samplerJob int
+	// profGate serializes profiled figures on parallel runs (CPU
+	// profiling is process-global). RunMany creates it; never set by
+	// callers.
+	profGate chan struct{}
 }
 
 // normalize applies defaults.
@@ -125,6 +133,9 @@ type Result struct {
 	// estimate on parallel runs (Go exposes no per-goroutine allocation
 	// counter — see allocSampler in runner.go).
 	Allocs uint64
+	// Profile is the per-figure pprof attribution report (nil unless
+	// the run had Options.Profile enabled for this figure).
+	Profile *ProfileSummary
 }
 
 // registry of all experiments.

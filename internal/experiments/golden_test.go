@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"lightvm/internal/metrics"
@@ -98,10 +99,17 @@ func TestGoldenFigures(t *testing.T) {
 				t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
 			}
 			if !bytes.Equal(got, want) {
-				t.Errorf("%s: output moved from committed golden %s\n"+
-					"--- got ---\n%s\n--- want ---\n%s\n"+
-					"(if this change is intentional, regenerate with -update and explain the diff in the commit)",
-					id, path, got, want)
+				// Report per-cell differences (figure, column, row, got
+				// vs want) rather than two JSON blobs; see
+				// goldendiff_test.go.
+				diffs := diffGoldenDocs(got, want)
+				if len(diffs) == 0 {
+					diffs = []string{"(byte-level difference only — whitespace or key order)"}
+				}
+				t.Errorf("%s: output moved from committed golden %s\n  %s\n"+
+					"(if this change is intentional, regenerate with "+
+					"`go test ./internal/experiments -run TestGoldenFigures -update` and explain the diff in the commit)",
+					id, path, strings.Join(diffs, "\n  "))
 			}
 		})
 	}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"lightvm/internal/profiling"
+)
+
+// Per-figure profiling. With Options.Profile set, RunMany wraps each
+// selected generator in a pprof capture: a CPU profile and/or a heap
+// (allocs) profile written to <Dir>/<id>.cpu.pb.gz / <id>.heap.pb.gz,
+// plus a symbol-bucket summary (top subsystems by flat CPU time and
+// heap bytes) attached to the figure's Result.Profile.
+//
+// CPU profiling is process-global — the runtime supports one profile
+// at a time and it samples every thread — so parallel runs serialize
+// *profiled* figures through a one-token gate (profGate) while
+// unprofiled figures keep the worker pool busy. Two consequences,
+// both deliberate:
+//
+//   - A profiled figure's raw .pb.gz still contains samples from
+//     whatever unprofiled figures ran concurrently. The summary
+//     corrects for this: every profiled run executes under a pprof
+//     goroutine label (figure=<id>, inherited by the figure's nested
+//     series workers), and the report only counts samples carrying
+//     that label. The foreign remainder is reported separately
+//     (CPUForeignNanos) so pollution is visible, not silent.
+//   - Heap attribution subtracts a pre-run alloc_space baseline from
+//     the post-run profile. Memory profiles carry no goroutine
+//     labels, so in parallel mode the delta also includes whatever
+//     concurrent figures allocated during the run. For exact heap
+//     attribution, run with Parallel=1 (the gate then costs nothing —
+//     everything is already serial).
+
+// ProfileOptions selects per-figure pprof capture.
+type ProfileOptions struct {
+	// CPU captures a CPU profile per selected figure.
+	CPU bool
+	// Heap captures a heap (allocs) profile per selected figure.
+	Heap bool
+	// Dir is where <id>.cpu.pb.gz / <id>.heap.pb.gz land ("." when
+	// empty); it is created if missing.
+	Dir string
+	// Only restricts profiling to these figure ids (empty = every
+	// figure in the run). Unlisted figures run unprofiled — in
+	// parallel mode, concurrently with the profiled ones.
+	Only []string
+}
+
+func (p ProfileOptions) enabled() bool { return p.CPU || p.Heap }
+
+// wants reports whether figure id is selected for profiling.
+func (p ProfileOptions) wants(id string) bool {
+	if !p.enabled() {
+		return false
+	}
+	if len(p.Only) == 0 {
+		return true
+	}
+	for _, only := range p.Only {
+		if only == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (p ProfileOptions) dir() string {
+	if p.Dir == "" {
+		return "."
+	}
+	return p.Dir
+}
+
+// topSubsystems is the summary depth: the report keeps the top-5
+// subsystems per dimension.
+const topSubsystems = 5
+
+// ProfileSummary is the per-figure attribution report: where the
+// captured profiles landed and which subsystems dominate them.
+type ProfileSummary struct {
+	// CPUFile / HeapFile are the written profile paths ("" if that
+	// mode was off).
+	CPUFile  string `json:"cpu_file,omitempty"`
+	HeapFile string `json:"heap_file,omitempty"`
+	// CPU ranks subsystems by flat CPU time over the samples labeled
+	// with this figure; Heap by flat allocated bytes over the pre/post
+	// alloc_space delta. Top-5 each, deterministic order.
+	CPU  []profiling.Cost `json:"cpu,omitempty"`
+	Heap []profiling.Cost `json:"heap,omitempty"`
+	// CPUTotalNanos is the figure's own (labeled) sampled CPU time;
+	// CPUForeignNanos is what else landed in the raw profile —
+	// concurrent unprofiled figures, unlabeled runtime workers.
+	CPUTotalNanos   int64 `json:"cpu_total_nanos,omitempty"`
+	CPUForeignNanos int64 `json:"cpu_foreign_nanos,omitempty"`
+	// HeapDeltaBytes is the (sampled) alloc_space growth across the
+	// run.
+	HeapDeltaBytes int64 `json:"heap_delta_bytes,omitempty"`
+}
+
+// String renders the summary as the one-line attribution note the CLI
+// prints under each profiled figure.
+func (ps *ProfileSummary) String() string {
+	if ps == nil {
+		return ""
+	}
+	var b bytes.Buffer
+	line := func(kind string, costs []profiling.Cost, file string) {
+		if file == "" {
+			return
+		}
+		fmt.Fprintf(&b, "profile %s:", kind)
+		if len(costs) == 0 {
+			b.WriteString(" (no samples)")
+		}
+		for i, c := range costs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, " %.1f%% %s", c.Percent, c.Subsystem)
+		}
+		fmt.Fprintf(&b, " (%s)\n", file)
+	}
+	line("cpu", ps.CPU, ps.CPUFile)
+	line("heap", ps.Heap, ps.HeapFile)
+	return b.String()
+}
+
+// runProfiled executes one figure, wrapping it in pprof capture when
+// selected. It is the single entry point RunMany uses for every job.
+func runProfiled(id string, o Options) (Result, error) {
+	if !o.Profile.wants(id) {
+		return Run(id, o)
+	}
+	if o.profGate != nil {
+		o.profGate <- struct{}{}
+		defer func() { <-o.profGate }()
+	}
+	return captureProfiles(id, o)
+}
+
+// captureProfiles is runProfiled's slow path: profiles are armed, the
+// generator runs under a figure label, and the attribution summary is
+// computed from the captured data. Caller holds the profiling gate.
+func captureProfiles(id string, o Options) (Result, error) {
+	dir := o.Profile.dir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Result{}, fmt.Errorf("experiments: profile dir: %w", err)
+	}
+	sum := &ProfileSummary{}
+
+	var preHeap map[string]int64
+	if o.Profile.Heap {
+		// Fold everything allocated so far into a baseline that the
+		// post-run profile is diffed against (alloc_space is cumulative
+		// for the whole process).
+		runtime.GC()
+		flat, err := heapFlat()
+		if err != nil {
+			return Result{}, err
+		}
+		preHeap = flat
+	}
+
+	var cpuFile *os.File
+	if o.Profile.CPU {
+		path := filepath.Join(dir, id+".cpu.pb.gz")
+		f, err := os.Create(path)
+		if err != nil {
+			return Result{}, fmt.Errorf("experiments: profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			os.Remove(path)
+			return Result{}, fmt.Errorf("experiments: start cpu profile for %s (another profile in flight?): %w", id, err)
+		}
+		cpuFile = f
+		sum.CPUFile = path
+	}
+
+	// The label rides on the figure's goroutine and everything it
+	// spawns (nested series pools included), so the CPU report can be
+	// cut to exactly this figure's samples.
+	var res Result
+	var runErr error
+	start := time.Now()
+	pprof.Do(context.Background(), pprof.Labels("figure", id), func(context.Context) {
+		res, runErr = Run(id, o)
+	})
+	wall := time.Since(start)
+
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("experiments: close cpu profile: %w", err)
+		}
+	}
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	if o.Profile.CPU {
+		prof, err := profiling.ParseFile(sum.CPUFile)
+		if err != nil {
+			return Result{}, fmt.Errorf("experiments: parse %s: %w", sum.CPUFile, err)
+		}
+		ci := prof.SampleType("cpu")
+		mine := func(s *profiling.Sample) bool { return s.Label("figure") == id }
+		sum.CPUTotalNanos = prof.Total(ci, mine)
+		sum.CPUForeignNanos = prof.Total(ci, nil) - sum.CPUTotalNanos
+		sum.CPU = profiling.TopSubsystems(profiling.SubsystemTotals(prof.Flat(ci, mine)), topSubsystems)
+	}
+
+	if o.Profile.Heap {
+		runtime.GC() // flush the run's allocations into the profile
+		path := filepath.Join(dir, id+".heap.pb.gz")
+		f, err := os.Create(path)
+		if err != nil {
+			return Result{}, fmt.Errorf("experiments: profile: %w", err)
+		}
+		werr := pprof.Lookup("allocs").WriteTo(f, 0)
+		cerr := f.Close()
+		if werr != nil {
+			return Result{}, fmt.Errorf("experiments: write heap profile: %w", werr)
+		}
+		if cerr != nil {
+			return Result{}, fmt.Errorf("experiments: write heap profile: %w", cerr)
+		}
+		sum.HeapFile = path
+		prof, err := profiling.ParseFile(path)
+		if err != nil {
+			return Result{}, fmt.Errorf("experiments: parse %s: %w", path, err)
+		}
+		delta := profiling.DeltaFlat(prof.Flat(prof.SampleType("alloc_space"), nil), preHeap)
+		for _, v := range delta {
+			sum.HeapDeltaBytes += v
+		}
+		sum.Heap = profiling.TopSubsystems(profiling.SubsystemTotals(delta), topSubsystems)
+	}
+
+	res.Profile = sum
+	res.Wall = wall
+	return res, nil
+}
+
+// heapFlat snapshots the process's cumulative per-function alloc_space.
+func heapFlat() (map[string]int64, error) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		return nil, fmt.Errorf("experiments: snapshot heap profile: %w", err)
+	}
+	p, err := profiling.Parse(buf.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: parse heap snapshot: %w", err)
+	}
+	return p.Flat(p.SampleType("alloc_space"), nil), nil
+}

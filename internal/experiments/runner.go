@@ -239,6 +239,12 @@ func RunMany(ids []string, o Options) ([]Result, error) {
 	var sampler *allocSampler
 	if !sequential {
 		sampler = newAllocSampler(len(ids))
+		if o.Profile.enabled() {
+			// One profiling token: profiled figures take turns (CPU
+			// profiling is process-global), unprofiled ones keep the
+			// pool busy. See profile.go for the tradeoff.
+			o.profGate = make(chan struct{}, 1)
+		}
 	}
 	out := make([]Result, len(ids))
 	err := o.runSeries(len(ids), func(i int) (retErr error) {
@@ -253,11 +259,15 @@ func RunMany(ids []string, o Options) ([]Result, error) {
 			defer sampler.unbind(sampler.bind(i))
 		}
 		start := time.Now()
-		res, err := Run(ids[i], oj)
+		res, err := runProfiled(ids[i], oj)
 		if err != nil {
 			return err
 		}
-		res.Wall = time.Since(start)
+		if res.Wall == 0 {
+			// Profiled figures time themselves (captureProfiles), so
+			// gate waits and profile parsing don't count as figure time.
+			res.Wall = time.Since(start)
+		}
 		if sequential {
 			var m1 runtime.MemStats
 			runtime.ReadMemStats(&m1)

@@ -24,6 +24,9 @@ func (t *Table) Plot(width, height int, logY bool) string {
 	}
 
 	tr := func(v float64) (float64, bool) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, false // unplottable; skip rather than corrupt the axes
+		}
 		if logY {
 			if v <= 0 {
 				return 0, false
@@ -38,6 +41,9 @@ func (t *Table) Plot(width, height int, logY bool) string {
 	ymin, ymax := math.Inf(1), math.Inf(-1)
 	for _, row := range t.Rows {
 		x := row[0]
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue // row has no usable x position
+		}
 		if x < xmin {
 			xmin = x
 		}
@@ -82,6 +88,9 @@ func (t *Table) Plot(width, height int, logY bool) string {
 	for si := 1; si < len(t.Columns); si++ {
 		marker := plotMarkers[(si-1)%len(plotMarkers)]
 		for _, row := range t.Rows {
+			if math.IsNaN(row[0]) || math.IsInf(row[0], 0) {
+				continue
+			}
 			tv, ok := tr(row[si])
 			if !ok {
 				continue

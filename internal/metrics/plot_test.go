@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Table-driven edge cases for the ASCII plotter: degenerate tables,
+// single points, NaN/Inf values and zero durations must render without
+// panicking or corrupting the axes.
+func TestPlotEdgeCases(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name string
+		rows [][]float64
+		logY bool
+		want string // substring the rendering must contain
+	}{
+		{"empty table", nil, false, "(no data to plot)"},
+		{"single point", [][]float64{{1, 5}}, false, "*"},
+		{"single point log", [][]float64{{1, 5}}, true, "(log y)"},
+		{"all NaN values", [][]float64{{1, nan}, {2, nan}}, false, "(no plottable values)"},
+		{"NaN x skipped", [][]float64{{nan, 5}, {2, 7}}, false, "*"},
+		{"NaN mixed in", [][]float64{{1, nan}, {2, 7}, {3, 9}}, false, "*"},
+		{"+Inf value skipped", [][]float64{{1, inf}, {2, 7}}, false, "*"},
+		{"-Inf value skipped", [][]float64{{1, math.Inf(-1)}, {2, 7}}, false, "*"},
+		{"all Inf", [][]float64{{1, inf}}, true, "(no plottable values)"},
+		{"zero duration on log axis", [][]float64{{1, 0}, {2, 3}}, true, "(log y)"},
+		{"all zero on log axis", [][]float64{{1, 0}, {2, 0}}, true, "(no plottable values)"},
+		{"negative linear ok", [][]float64{{1, -3}, {2, 4}}, false, "*"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tab := NewTable(c.name, "x", "y")
+			for _, row := range c.rows {
+				tab.AddRow(row...)
+			}
+			out := tab.Plot(40, 8, c.logY)
+			if !strings.Contains(out, c.want) {
+				t.Fatalf("plot missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}
+
+// A NaN x must not shift the axis range of the remaining points.
+func TestPlotNaNXDoesNotCorruptRange(t *testing.T) {
+	tab := NewTable("nanx", "x", "y")
+	tab.AddRow(math.NaN(), 100)
+	tab.AddRow(10, 1)
+	tab.AddRow(20, 2)
+	out := tab.Plot(40, 8, false)
+	if !strings.Contains(out, "10") || !strings.Contains(out, "20") {
+		t.Fatalf("x labels lost:\n%s", out)
+	}
+}
+
+// Series edge cases the figure generators can produce: empty series,
+// a single sample, zero durations.
+func TestSeriesEdgeCases(t *testing.T) {
+	cases := []struct {
+		name                string
+		values              []float64
+		min, max, mean, p50 float64
+	}{
+		{"empty", nil, 0, 0, 0, 0},
+		{"single point", []float64{7}, 7, 7, 7, 7},
+		{"all zero", []float64{0, 0, 0}, 0, 0, 0, 0},
+		{"negative only", []float64{-3, -1, -2}, -3, -1, -2, -2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := Series{Values: c.values}
+			if got := s.Min(); got != c.min {
+				t.Errorf("Min = %v, want %v", got, c.min)
+			}
+			if got := s.Max(); got != c.max {
+				t.Errorf("Max = %v, want %v", got, c.max)
+			}
+			if got := s.Mean(); got != c.mean {
+				t.Errorf("Mean = %v, want %v", got, c.mean)
+			}
+			if got := s.Median(); got != c.p50 {
+				t.Errorf("Median = %v, want %v", got, c.p50)
+			}
+		})
+	}
+}
+
+func TestAddDurationZeroAndSub(t *testing.T) {
+	var s Series
+	s.AddDuration(0)
+	s.AddDuration(time.Nanosecond)
+	if s.Values[0] != 0 {
+		t.Fatalf("zero duration stored as %v", s.Values[0])
+	}
+	if s.Values[1] <= 0 || s.Values[1] >= 1e-5 {
+		t.Fatalf("1ns stored as %v ms", s.Values[1])
+	}
+	// Percentiles on the degenerate series stay in range.
+	if p := s.Percentile(99); p != s.Max() {
+		t.Fatalf("P99 = %v, max = %v", p, s.Max())
+	}
+}
+
+func TestFormatCellSpecials(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1234567",
+		0.5:     "0.500",
+		123.45:  "123.5",
+	}
+	for v, want := range cases {
+		if got := formatCell(v); got != want {
+			t.Errorf("formatCell(%v) = %q, want %q", v, got, want)
+		}
+	}
+	// NaN renders as text rather than panicking (generators should
+	// never emit it, but the renderer is the last line of defense).
+	if got := formatCell(math.NaN()); !strings.Contains(got, "NaN") {
+		t.Errorf("formatCell(NaN) = %q", got)
+	}
+}

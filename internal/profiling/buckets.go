@@ -1,0 +1,125 @@
+package profiling
+
+import (
+	"sort"
+	"strings"
+)
+
+// The symbol-bucket report: samples are mapped onto simulator
+// subsystems by the package path of their leaf function, so a raw
+// profile ("40% of cycles in mallocgc, 12% in tx.Commit") becomes an
+// attribution statement ("fig12a spends most of its simulator CPU in
+// internal/xenstore"). Buckets follow the repo layout: every
+// lightvm/internal/<pkg> is its own subsystem, the facade package is
+// "lightvm", the Go runtime (GC, scheduler, allocator) is "runtime",
+// the rest of the standard library is "std", and anything else —
+// unsymbolized frames included — is "other".
+
+// Cost is one subsystem's share of a profile dimension.
+type Cost struct {
+	// Subsystem is the bucket name (e.g. "internal/xenstore").
+	Subsystem string `json:"subsystem"`
+	// Value is the bucket's flat total in the profile's unit
+	// (nanoseconds for CPU, bytes for heap).
+	Value int64 `json:"value"`
+	// Percent is Value's share of the profile total (0–100).
+	Percent float64 `json:"percent"`
+}
+
+// Subsystem maps a fully-qualified Go function name (as pprof reports
+// it, e.g. "lightvm/internal/xenstore.(*Store).Write") to its bucket.
+func Subsystem(fn string) string {
+	pkg := packageOf(fn)
+	switch {
+	case pkg == "":
+		return "other"
+	case strings.HasPrefix(pkg, "lightvm/internal/"):
+		return strings.TrimPrefix(pkg, "lightvm/")
+	case pkg == "lightvm" || strings.HasPrefix(pkg, "lightvm/"):
+		return "lightvm"
+	case pkg == "runtime" || strings.HasPrefix(pkg, "runtime/"):
+		return "runtime"
+	case !strings.Contains(firstPathElem(pkg), "."):
+		// Import paths without a dotted first element are standard
+		// library (encoding/json, os, sync, ...).
+		return "std"
+	default:
+		return "other"
+	}
+}
+
+// packageOf extracts the package import path from a function symbol:
+// everything up to the first '.' after the last '/'. Symbols without a
+// package qualifier (assembly stubs like "memeqbody") map to "".
+func packageOf(fn string) string {
+	slash := strings.LastIndexByte(fn, '/')
+	dot := strings.IndexByte(fn[slash+1:], '.')
+	if dot < 0 {
+		if slash < 0 {
+			return "" // unqualified symbol
+		}
+		return fn
+	}
+	return fn[:slash+1+dot]
+}
+
+// firstPathElem returns the import path's first element.
+func firstPathElem(pkg string) string {
+	if i := strings.IndexByte(pkg, '/'); i >= 0 {
+		return pkg[:i]
+	}
+	return pkg
+}
+
+// SubsystemTotals folds per-function flat totals into per-subsystem
+// totals.
+func SubsystemTotals(flat map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for fn, v := range flat {
+		out[Subsystem(fn)] += v
+	}
+	return out
+}
+
+// TopSubsystems ranks subsystem totals and returns the top n (value
+// descending, name ascending on ties — deterministic for goldens and
+// JSON diffs). Percent is each bucket's share of the grand total;
+// zero- and negative-valued buckets are dropped.
+func TopSubsystems(totals map[string]int64, n int) []Cost {
+	var grand int64
+	out := make([]Cost, 0, len(totals))
+	for sub, v := range totals {
+		if v <= 0 {
+			continue
+		}
+		grand += v
+		out = append(out, Cost{Subsystem: sub, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Subsystem < out[j].Subsystem
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	for i := range out {
+		out[i].Percent = 100 * float64(out[i].Value) / float64(grand)
+	}
+	return out
+}
+
+// DeltaFlat subtracts per-function baselines from per-function totals,
+// clamping at zero — how a figure's heap attribution is isolated from
+// allocations made before its run (alloc_space is cumulative for the
+// process).
+func DeltaFlat(after, before map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(after))
+	for fn, v := range after {
+		if d := v - before[fn]; d > 0 {
+			out[fn] = d
+		}
+	}
+	return out
+}

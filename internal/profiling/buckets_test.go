@@ -1,0 +1,93 @@
+package profiling
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSubsystem(t *testing.T) {
+	cases := []struct{ fn, want string }{
+		{"lightvm/internal/xenstore.(*Store).Write", "internal/xenstore"},
+		{"lightvm/internal/sched.(*CPU).Run.func1", "internal/sched"},
+		{"lightvm/internal/sim.(*Clock).Sleep", "internal/sim"},
+		{"lightvm.RunExperiments", "lightvm"},
+		{"runtime.mallocgc", "runtime"},
+		{"runtime/pprof.StartCPUProfile", "runtime"},
+		{"encoding/json.Marshal", "std"},
+		{"sync.(*Mutex).Lock", "std"},
+		{"github.com/some/dep.Fn", "other"},
+		{"memeqbody", "other"}, // unqualified assembly symbol
+		{"(unknown)", "other"},
+		{"", "other"},
+	}
+	for _, c := range cases {
+		if got := Subsystem(c.fn); got != c.want {
+			t.Errorf("Subsystem(%q) = %q, want %q", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestPackageOf(t *testing.T) {
+	cases := []struct{ fn, want string }{
+		{"lightvm/internal/xenstore.glob..func1", "lightvm/internal/xenstore"},
+		{"runtime.gcBgMarkWorker", "runtime"},
+		{"example.com/mod/pkg.(*T).M", "example.com/mod/pkg"},
+		{"lightvm/internal/noxs", "lightvm/internal/noxs"}, // no dot after last slash
+		{"plainsymbol", ""},
+	}
+	for _, c := range cases {
+		if got := packageOf(c.fn); got != c.want {
+			t.Errorf("packageOf(%q) = %q, want %q", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestSubsystemTotalsAndTop(t *testing.T) {
+	flat := map[string]int64{
+		"lightvm/internal/xenstore.(*Store).Write": 60,
+		"lightvm/internal/xenstore.(*tx).Commit":   20,
+		"lightvm/internal/sched.(*CPU).Tick":       40,
+		"runtime.mallocgc":                         30,
+		"encoding/json.Marshal":                    10,
+		"lightvm/internal/sim.(*Clock).Advance":    40,
+	}
+	totals := SubsystemTotals(flat)
+	if totals["internal/xenstore"] != 80 {
+		t.Fatalf("xenstore total = %d, want 80", totals["internal/xenstore"])
+	}
+	top := TopSubsystems(totals, 3)
+	if len(top) != 3 {
+		t.Fatalf("top-3 has %d entries", len(top))
+	}
+	if top[0].Subsystem != "internal/xenstore" || top[0].Value != 80 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	// 40/40 tie between sched and sim breaks alphabetically.
+	if top[1].Subsystem != "internal/sched" || top[2].Subsystem != "internal/sim" {
+		t.Fatalf("tie order: %+v %+v", top[1], top[2])
+	}
+	// Percent is the share of the grand total (200), not of the top-3.
+	if top[0].Percent != 40 {
+		t.Fatalf("top[0].Percent = %v, want 40", top[0].Percent)
+	}
+}
+
+func TestTopSubsystemsDropsNonPositive(t *testing.T) {
+	top := TopSubsystems(map[string]int64{"a": 0, "b": -5, "c": 10}, 5)
+	if len(top) != 1 || top[0].Subsystem != "c" || top[0].Percent != 100 {
+		t.Fatalf("top = %+v", top)
+	}
+	if got := TopSubsystems(nil, 5); len(got) != 0 {
+		t.Fatalf("empty totals gave %+v", got)
+	}
+}
+
+func TestDeltaFlat(t *testing.T) {
+	after := map[string]int64{"f": 100, "g": 50, "h": 7}
+	before := map[string]int64{"f": 40, "g": 50, "z": 3}
+	got := DeltaFlat(after, before)
+	want := map[string]int64{"f": 60, "h": 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DeltaFlat = %v, want %v", got, want)
+	}
+}

@@ -69,6 +69,100 @@ func TestNilLogSafe(t *testing.T) {
 	}
 }
 
+// Table-driven edge cases: cap normalization, empty logs and boundary
+// filters.
+func TestLogEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		max     int
+		emits   int
+		wantLen int
+		wantDrp int
+	}{
+		{"zero max uses default", 0, 5, 5, 0},
+		{"negative max uses default", -3, 5, 5, 0},
+		{"cap of one", 1, 4, 1, 3},
+		{"exactly at cap", 2, 2, 2, 0},
+		{"no events", 8, 0, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := New(sim.NewClock(), c.max)
+			for i := 0; i < c.emits; i++ {
+				l.Emit("cat", "op", "s", "", 0)
+			}
+			if l.Len() != c.wantLen || l.Dropped != c.wantDrp {
+				t.Fatalf("len=%d dropped=%d, want %d/%d", l.Len(), l.Dropped, c.wantLen, c.wantDrp)
+			}
+			if c.emits == 0 {
+				if l.String() != "" {
+					t.Fatalf("empty log renders %q", l.String())
+				}
+				if l.Events() != nil && len(l.Events()) != 0 {
+					t.Fatal("empty log returned events")
+				}
+			}
+		})
+	}
+}
+
+func TestFilterEmptyLogAndOpOnly(t *testing.T) {
+	l := New(sim.NewClock(), 0)
+	if got := l.Filter("anything", "op"); got != nil {
+		t.Fatalf("empty log filter = %v", got)
+	}
+	l.Emit("cat", "create", "a", "", 0)
+	// Matching category with a non-matching op must return nothing.
+	if got := l.Filter("cat", "destroy"); len(got) != 0 {
+		t.Fatalf("op mismatch returned %v", got)
+	}
+}
+
+// Event rendering edge cases: missing detail and zero elapsed must not
+// leave stray separators.
+func TestEventStringEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		ev     Event
+		want   []string
+		forbid []string
+	}{
+		{
+			"no detail no elapsed",
+			Event{Category: "pool", Op: "fill", Subject: "shell0"},
+			[]string{"pool", "fill", "shell0"},
+			[]string{"(", ")"},
+		},
+		{
+			"zero time",
+			Event{At: 0, Category: "c", Op: "o", Subject: "s"},
+			[]string{"0s"},
+			nil,
+		},
+		{
+			"detail without elapsed",
+			Event{Category: "c", Op: "o", Subject: "s", Detail: "k=v"},
+			[]string{"k=v"},
+			[]string{"()"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := c.ev.String()
+			for _, w := range c.want {
+				if !strings.Contains(s, w) {
+					t.Fatalf("%q missing %q", s, w)
+				}
+			}
+			for _, f := range c.forbid {
+				if strings.Contains(s, f) {
+					t.Fatalf("%q contains forbidden %q", s, f)
+				}
+			}
+		})
+	}
+}
+
 func TestEventString(t *testing.T) {
 	e := Event{At: sim.Time(time.Second), Category: "toolstack", Op: "create",
 		Subject: "vm1", Detail: "mode=xl", Elapsed: 2 * time.Millisecond}

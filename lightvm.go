@@ -31,6 +31,7 @@ import (
 	"lightvm/internal/migrate"
 	"lightvm/internal/minipy"
 	"lightvm/internal/netstack"
+	"lightvm/internal/profiling"
 	"lightvm/internal/sched"
 	"lightvm/internal/sim"
 	"lightvm/internal/tinyx"
@@ -170,6 +171,45 @@ type ExperimentResult struct {
 	// sequential runs (parallel == 1), a sampling-based estimate on
 	// parallel runs.
 	Allocs uint64
+	// Profile is the per-figure pprof attribution report; nil unless
+	// the run requested profiling (see ExperimentOptions).
+	Profile *ExperimentProfile
+}
+
+// SubsystemCost is one simulator subsystem's share of a profile
+// dimension (flat CPU time or allocated heap bytes).
+type SubsystemCost struct {
+	// Subsystem is the bucket: "internal/<pkg>" for simulator
+	// packages, "lightvm" for the facade, "runtime", "std" or "other".
+	Subsystem string `json:"subsystem"`
+	// Value is nanoseconds (CPU) or sampled bytes (heap).
+	Value int64 `json:"value"`
+	// Percent is the bucket's share of the figure's total (0–100).
+	Percent float64 `json:"percent"`
+}
+
+// ExperimentProfile is the per-figure profiling report: where the raw
+// pprof files were written (open them with `go tool pprof`) and the
+// top-5 subsystems by flat CPU time and heap bytes.
+type ExperimentProfile struct {
+	// CPUFile/HeapFile are the captured profile paths ("" if that mode
+	// was off).
+	CPUFile  string `json:"cpu_file,omitempty"`
+	HeapFile string `json:"heap_file,omitempty"`
+	// CPU and Heap rank subsystems (top-5, deterministic order). CPU
+	// counts only samples labeled with this figure's id; Heap is the
+	// pre/post alloc_space delta.
+	CPU  []SubsystemCost `json:"cpu,omitempty"`
+	Heap []SubsystemCost `json:"heap,omitempty"`
+	// CPUTotalNanos is the figure's own sampled CPU time;
+	// CPUForeignNanos is what else landed in the raw profile (on
+	// parallel runs, concurrent unprofiled figures).
+	CPUTotalNanos   int64 `json:"cpu_total_nanos,omitempty"`
+	CPUForeignNanos int64 `json:"cpu_foreign_nanos,omitempty"`
+	// HeapDeltaBytes is the sampled alloc_space growth across the run.
+	HeapDeltaBytes int64 `json:"heap_delta_bytes,omitempty"`
+	// Text is a one-line rendering suitable for terminal output.
+	Text string `json:"-"`
 }
 
 func toExperimentResult(res experiments.Result) ExperimentResult {
@@ -184,6 +224,25 @@ func toExperimentResult(res experiments.Result) ExperimentResult {
 	if tab, ok := res.Table.(*metrics.Table); ok {
 		// Most of the paper's time figures are log-scale.
 		out.Plot = tab.Plot(72, 18, true)
+	}
+	if sum := res.Profile; sum != nil {
+		costs := func(in []profiling.Cost) []SubsystemCost {
+			out := make([]SubsystemCost, len(in))
+			for i, c := range in {
+				out[i] = SubsystemCost{Subsystem: c.Subsystem, Value: c.Value, Percent: c.Percent}
+			}
+			return out
+		}
+		out.Profile = &ExperimentProfile{
+			CPUFile:         sum.CPUFile,
+			HeapFile:        sum.HeapFile,
+			CPU:             costs(sum.CPU),
+			Heap:            costs(sum.Heap),
+			CPUTotalNanos:   sum.CPUTotalNanos,
+			CPUForeignNanos: sum.CPUForeignNanos,
+			HeapDeltaBytes:  sum.HeapDeltaBytes,
+			Text:            sum.String(),
+		}
 	}
 	return out
 }
@@ -205,10 +264,46 @@ func RunExperiment(id string, scale float64, seed uint64) (ExperimentResult, err
 // every figure (and every series within a figure) owns its own virtual
 // clock, host and RNG.
 func RunExperiments(ids []string, scale float64, seed uint64, parallel int) ([]ExperimentResult, error) {
+	return RunExperimentsOpts(ids, ExperimentOptions{Scale: scale, Seed: seed, Parallel: parallel})
+}
+
+// ExperimentOptions configures RunExperimentsOpts. The zero value of
+// Scale/Seed falls back to full scale / seed 1.
+type ExperimentOptions struct {
+	// Scale multiplies the paper's guest counts (1.0 = full scale).
+	Scale float64
+	// Seed drives all randomized workload choices.
+	Seed uint64
+	// Parallel bounds the worker pool (0 = GOMAXPROCS, 1 = sequential).
+	Parallel int
+	// ProfileCPU/ProfileHeap capture a pprof CPU/heap profile per
+	// figure into ProfileDir ("." when empty) as <id>.cpu.pb.gz /
+	// <id>.heap.pb.gz and attach a subsystem attribution summary to
+	// each ExperimentResult.Profile. CPU profiling is process-global,
+	// so on parallel runs profiled figures serialize through a token
+	// while unprofiled work proceeds; the raw CPU profile may carry
+	// foreign samples (reported, not hidden — see
+	// ExperimentProfile.CPUForeignNanos).
+	ProfileCPU  bool
+	ProfileHeap bool
+	ProfileDir  string
+	// ProfileFigures restricts profiling to these figure ids (empty =
+	// every figure in the run).
+	ProfileFigures []string
+}
+
+// RunExperimentsOpts is RunExperiments with the full option set,
+// including per-figure pprof profiling.
+func RunExperimentsOpts(ids []string, o ExperimentOptions) ([]ExperimentResult, error) {
 	if len(ids) == 0 {
 		ids = experiments.IDs()
 	}
-	res, err := experiments.RunMany(ids, experiments.Options{Scale: scale, Seed: seed, Parallel: parallel})
+	res, err := experiments.RunMany(ids, experiments.Options{
+		Scale: o.Scale, Seed: o.Seed, Parallel: o.Parallel,
+		Profile: experiments.ProfileOptions{
+			CPU: o.ProfileCPU, Heap: o.ProfileHeap, Dir: o.ProfileDir, Only: o.ProfileFigures,
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
