@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke profile-smoke clean
+.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke profile-smoke fsck-smoke clean
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,21 @@ profile-smoke:
 		|| { echo "FAIL: no attribution block in profiles/profile-smoke.json"; exit 1; }
 	@echo "profile-smoke: per-figure profiles and attribution OK"
 
+# Crash-consistency gate: run the churn figure (which injects
+# toolstack crashes at every labeled crash point) and then audit every
+# environment the run built with the cross-layer invariant checker.
+# Any violation makes lightvm-bench exit non-zero. Also asserts the
+# JSON report carries the per-crash-point counters.
+fsck-smoke:
+	$(GO) run ./cmd/lightvm-bench -exp ext-churn -scale 0.05 -seed 2 -parallel 1 \
+		-fsck -json -out fsck-smoke.json
+	@grep -q '"crash_sites"' fsck-smoke.json \
+		|| { echo "FAIL: no crash_sites block in fsck-smoke.json"; exit 1; }
+	@grep -q '"fsck"' fsck-smoke.json \
+		|| { echo "FAIL: no fsck block in fsck-smoke.json"; exit 1; }
+	@rm -f fsck-smoke.json
+	@echo "fsck-smoke: crash churn scrubbed to zero violations"
+
 # Full-scale replay of every figure with a JSON timing report.
 bench:
 	$(GO) run ./cmd/lightvm-bench -exp all -parallel 0 -json
@@ -70,5 +85,5 @@ bench-smoke:
 	$(GO) run ./cmd/lightvm-bench -exp ext-faults -scale 0.02 -seed 7 -parallel 0
 
 clean:
-	rm -f BENCH_*.json *.cover coverage-xenstore.html
+	rm -f BENCH_*.json *.cover coverage-xenstore.html fsck-smoke.json
 	rm -rf profiles

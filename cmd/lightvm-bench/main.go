@@ -8,6 +8,7 @@
 //	lightvm-bench -exp all -json        # also write BENCH_<date>.json
 //	lightvm-bench -exp all -json -out results/bench.json
 //	lightvm-bench -exp fig12a -profile=cpu,heap -profile-dir profiles
+//	lightvm-bench -exp ext-churn -scale 0.1 -fsck  # consistency gate
 //	lightvm-bench -list
 //
 // Each figure prints as a fixed-width table with the paper's series as
@@ -40,11 +41,18 @@ import (
 
 // benchFigure is one figure's timing record in the -json report.
 type benchFigure struct {
-	ID        string                     `json:"id"`
-	WallMS    float64                    `json:"wall_ms"`
-	Allocs    uint64                     `json:"allocs"`
-	VirtualMS float64                    `json:"virtual_ms"`
-	Profile   *lightvm.ExperimentProfile `json:"profile,omitempty"`
+	ID         string                     `json:"id"`
+	WallMS     float64                    `json:"wall_ms"`
+	Allocs     uint64                     `json:"allocs"`
+	VirtualMS  float64                    `json:"virtual_ms"`
+	Profile    *lightvm.ExperimentProfile `json:"profile,omitempty"`
+	CrashSites []lightvm.CrashSiteStat    `json:"crash_sites,omitempty"`
+}
+
+// benchFsck is the -fsck gate's summary in the -json report.
+type benchFsck struct {
+	Envs       int      `json:"envs"`
+	Violations []string `json:"violations"`
 }
 
 // benchReport is the -json output schema.
@@ -55,6 +63,7 @@ type benchReport struct {
 	Parallel    int           `json:"parallel"`
 	TotalWallMS float64       `json:"total_wall_ms"`
 	Figures     []benchFigure `json:"figures"`
+	Fsck        *benchFsck    `json:"fsck,omitempty"`
 }
 
 func main() {
@@ -78,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	profile := fs.String("profile", "", "comma-separated pprof captures per figure: cpu, heap")
 	profileDir := fs.String("profile-dir", "profiles", "directory for <id>.cpu.pb.gz / <id>.heap.pb.gz files")
 	profileFigs := fs.String("profile-figs", "", "comma-separated figure ids to profile (default: all figures in the run)")
+	fsck := fs.Bool("fsck", false, "audit every environment's cross-layer invariants after the run; any violation fails the command")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -119,6 +129,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *exp == "all" {
 		ids = lightvm.Experiments()
 	}
+	if *fsck {
+		lightvm.SetEnvTracking(true)
+		defer lightvm.SetEnvTracking(false)
+	}
 	start := time.Now()
 	results, err := lightvm.RunExperimentsOpts(ids, opts)
 	if err != nil {
@@ -135,9 +149,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if res.Profile != nil {
 			fmt.Fprint(stdout, res.Profile.Text)
 		}
+		if len(res.CrashSites) > 0 {
+			var opp, inj uint64
+			for _, st := range res.CrashSites {
+				opp += st.Opportunities
+				inj += st.Injected
+			}
+			fmt.Fprintf(stdout, "crash points: %d sites, %d injections / %d opportunities\n", len(res.CrashSites), inj, opp)
+		}
 		fmt.Fprintf(stdout, "(generated in %v wall time)\n\n", time.Duration(res.WallMS*1e6).Round(time.Millisecond))
 	}
 	fmt.Fprintf(stdout, "total: %d figure(s) in %v wall time\n", len(results), total.Round(time.Millisecond))
+
+	var fsckRes *benchFsck
+	if *fsck {
+		envs, violations := lightvm.FsckTracked()
+		fsckRes = &benchFsck{Envs: envs, Violations: make([]string, 0, len(violations))}
+		for _, v := range violations {
+			fsckRes.Violations = append(fsckRes.Violations, v.String())
+		}
+		fmt.Fprintf(stdout, "fsck: %d environment(s) audited, %d violation(s)\n", envs, len(violations))
+	}
 
 	if *jsonOut {
 		report := benchReport{
@@ -147,10 +179,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Parallel:    *parallel,
 			TotalWallMS: float64(total) / 1e6,
 		}
+		report.Fsck = fsckRes
 		for _, res := range results {
 			report.Figures = append(report.Figures, benchFigure{
 				ID: res.ID, WallMS: res.WallMS, Allocs: res.Allocs,
 				VirtualMS: res.VirtualMS, Profile: res.Profile,
+				CrashSites: res.CrashSites,
 			})
 		}
 		name := *out
@@ -173,6 +207,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", name)
+	}
+	if fsckRes != nil && len(fsckRes.Violations) > 0 {
+		for _, v := range fsckRes.Violations {
+			fmt.Fprintf(stderr, "lightvm-bench: fsck violation: %s\n", v)
+		}
+		return 1
 	}
 	return 0
 }

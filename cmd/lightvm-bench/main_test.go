@@ -185,3 +185,42 @@ func TestProfileEndToEnd(t *testing.T) {
 		t.Fatalf("no simulator package in heap top-5: %+v", prof.Heap)
 	}
 }
+
+func TestFsckGateEndToEnd(t *testing.T) {
+	// The churn figure arms toolstack crashes; -fsck must audit every
+	// environment it built, report zero violations, and surface the
+	// per-crash-point counters in both outputs.
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	out, errOut, code := runCLI(t, "-exp", "ext-churn", "-scale", "0.05", "-seed", "2",
+		"-parallel", "1", "-fsck", "-json", "-out", outPath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	for _, want := range []string{"crash points:", "fsck:", " 0 violation(s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	buf, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if report.Fsck == nil || report.Fsck.Envs == 0 {
+		t.Fatalf("fsck summary missing or empty: %+v", report.Fsck)
+	}
+	if len(report.Fsck.Violations) != 0 {
+		t.Fatalf("violations in report: %v", report.Fsck.Violations)
+	}
+	if len(report.Figures) != 1 || len(report.Figures[0].CrashSites) == 0 {
+		t.Fatalf("crash_sites missing from figure record: %+v", report.Figures)
+	}
+	for _, st := range report.Figures[0].CrashSites {
+		if st.Injected > st.Opportunities {
+			t.Fatalf("site %s: injected %d > opportunities %d", st.Site, st.Injected, st.Opportunities)
+		}
+	}
+}

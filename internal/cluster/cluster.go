@@ -203,6 +203,7 @@ func (c *Cluster) FailHost(name string) ([]LostVM, error) {
 		return nil, fmt.Errorf("%w: %q", ErrHostFailed, name)
 	}
 	c.failed[name] = true
+	h.Env.MarkDead() // frozen corpse state is not audited by FsckTracked
 	var lost []LostVM
 	for _, vm := range h.Env.AllVMs() { // sorted by name
 		if c.placement[vm.Name] != name {

@@ -91,11 +91,9 @@ func (h *Host) EnsureFlavor(img guest.Image, mode toolstack.Mode) error {
 		return nil
 	}
 	f := toolstack.FlavorFor(img, mode.UsesStore())
-	if h.Env.Pool.Take(f) != nil {
-		// Put-back is not supported; taking once registered the
-		// flavor and consumed a shell, so top the pool back up.
-		h.Env.Pool.Stats.Taken--
-	}
+	// Register rather than Take: a probing Take would pull a shell out
+	// of the pool with no way to put it back, leaking its domain.
+	h.Env.Pool.Register(f)
 	return h.Env.Pool.Replenish()
 }
 

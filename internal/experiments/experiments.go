@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sort"
 	"time"
+
+	"lightvm/internal/faults"
 )
 
 // defaultSamples is the x-axis measurement-point default.
@@ -136,6 +138,10 @@ type Result struct {
 	// Profile is the per-figure pprof attribution report (nil unless
 	// the run had Options.Profile enabled for this figure).
 	Profile *ProfileSummary
+	// CrashSites is the per-crash-point opportunity/injection tally,
+	// aggregated across the figure's cells (nil unless the generator
+	// arms faults.KindToolstackCrash).
+	CrashSites []faults.SiteStat
 }
 
 // registry of all experiments.

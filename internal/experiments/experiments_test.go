@@ -43,7 +43,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig01", "fig02", "fig04", "fig05", "fig09", "fig10", "fig11",
 		"fig12a", "fig12b", "fig13", "fig14", "fig15", "fig16a", "fig16b", "fig16c",
 		"fig17", "fig18", "tbl-guests",
-		"ext-dedup", "ext-cxenstored", "ext-icc", "ext-ukvm", "ext-clone", "ext-throughput"}
+		"ext-dedup", "ext-cxenstored", "ext-icc", "ext-ukvm", "ext-clone", "ext-throughput",
+		"ext-faults", "ext-churn"}
 	ids := IDs()
 	have := map[string]bool{}
 	for _, id := range ids {

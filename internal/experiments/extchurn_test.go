@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"testing"
+
+	"lightvm/internal/metrics"
+	"lightvm/internal/toolstack"
+)
+
+// TestExtChurnShape checks the crash-consistency asymmetry the table
+// exists to show: the store-based xl leaves residue that grows with
+// the crash rate and pays for recovery with whole-store scans, while
+// the journaled chaos daemon stays flat. Zero post-scrub Fsck
+// violations is enforced inside the generator itself — a cell that
+// ends dirty fails the run, so a passing table IS the consistency
+// proof.
+func TestExtChurnShape(t *testing.T) {
+	res, err := Run("ext-churn", smallOpts)
+	if err != nil {
+		t.Fatalf("Run(ext-churn): %v", err)
+	}
+	tab := runTableOf(t, res)
+
+	rates := col(t, tab, "rate")
+	xlRes := col(t, tab, "xl_residue")
+	chRes := col(t, tab, "chaos_residue")
+	last := len(rates) - 1
+
+	// xl sheds store litter at EVERY rate — even crash-free churn
+	// leaves residual entries (§4.2) — while chaos, which keeps no
+	// store, stays identically zero across the sweep.
+	for i := range rates {
+		if xlRes[i] <= 0 {
+			t.Fatalf("xl residue zero at rate %v (churn must leave store litter)", rates[i])
+		}
+		if chRes[i] != 0 {
+			t.Fatalf("chaos residue at rate %v: %v (journal replay should leave no store litter)", rates[i], chRes[i])
+		}
+	}
+	// Per-pass recovery cost: xl's whole-store scan grows with the
+	// crash rate (more litter per pass); chaos's journal replay stays
+	// an order of magnitude below it.
+	xlScrub := col(t, tab, "xl_scrub_pass_ms")
+	chScrub := col(t, tab, "chaos_scrub_pass_ms")
+	if xlScrub[0] <= 0 {
+		t.Fatalf("xl rate-0 scrub free: %v (periodic scan must cost)", xlScrub[0])
+	}
+	if xlScrub[last] <= 2*xlScrub[0] {
+		t.Fatalf("xl per-pass scrub did not grow with crash rate: %v → %v", xlScrub[0], xlScrub[last])
+	}
+	for i := 1; i < len(rates); i++ {
+		if chScrub[i] >= xlScrub[i] {
+			t.Fatalf("chaos scrub pass (%v ms) not below xl (%v ms) at rate %v", chScrub[i], xlScrub[i], rates[i])
+		}
+	}
+	// Latency: chaos creation is constant-time; xl pays the store.
+	xlP50 := col(t, tab, "xl_p50_ms")
+	chP99 := col(t, tab, "chaos_p99_ms")
+	for i := range rates {
+		if chP99[i] >= xlP50[i] {
+			t.Fatalf("chaos p99 (%v) not below xl p50 (%v) at rate %v", chP99[i], xlP50[i], rates[i])
+		}
+	}
+
+	// Crash-point accounting made it to the result.
+	if len(res.CrashSites) == 0 {
+		t.Fatal("no crash-site stats on the result")
+	}
+	opps, injected := uint64(0), uint64(0)
+	for _, st := range res.CrashSites {
+		opps += st.Opportunities
+		injected += st.Injected
+	}
+	if opps == 0 || injected == 0 {
+		t.Fatalf("site counters empty: opportunities=%d injected=%d", opps, injected)
+	}
+	if injected > opps {
+		t.Fatalf("injected (%d) exceeds opportunities (%d)", injected, opps)
+	}
+}
+
+// TestExtChurnDeterministic re-runs the figure with the same seed and
+// demands byte-identical output — crash injection, journal replay and
+// scrubbing must all be on the deterministic timeline. The parallel
+// run must match the sequential one.
+func TestExtChurnDeterministic(t *testing.T) {
+	o := Options{Scale: 0.05, Seed: 11, Samples: 4, Parallel: 1}
+	a, err := Run("ext-churn", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("ext-churn", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.String() != b.Table.String() {
+		t.Fatal("same seed produced different churn tables")
+	}
+	o.Parallel = 4
+	c, err := Run("ext-churn", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table.String() != c.Table.String() {
+		t.Fatal("parallel churn run diverged from sequential")
+	}
+}
+
+// TestFsckAllExperiments is the acceptance gate: with faults disabled,
+// every registered experiment must leave every environment it built
+// with zero cross-layer invariant violations. Sequential, because env
+// tracking is process-global.
+func TestFsckAllExperiments(t *testing.T) {
+	toolstack.SetEnvTracking(true)
+	defer toolstack.SetEnvTracking(false)
+	o := Options{Scale: 0.05, Seed: 3, Samples: 4, Parallel: 1}
+	for _, id := range IDs() {
+		if _, err := Run(id, o); err != nil {
+			t.Fatalf("Run(%s): %v", id, err)
+		}
+	}
+	envs, violations := toolstack.FsckTracked()
+	if envs == 0 {
+		t.Fatal("tracking captured no environments")
+	}
+	if len(violations) != 0 {
+		for i, v := range violations {
+			if i == 10 {
+				t.Errorf("... and %d more", len(violations)-10)
+				break
+			}
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("%d cross-layer violations across %d environments", len(violations), envs)
+	}
+	t.Logf("fsck clean: %d environments audited", envs)
+}
+
+// runTableOf converts an already-run Result (runTable re-runs the
+// generator; churn is slow enough to do it once).
+func runTableOf(t *testing.T, res Result) *metrics.Table {
+	t.Helper()
+	tab, ok := res.Table.(*metrics.Table)
+	if !ok {
+		t.Fatalf("%s result is not a table", res.ID)
+	}
+	return tab
+}

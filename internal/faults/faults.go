@@ -15,6 +15,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 
 	"lightvm/internal/sim"
 )
@@ -51,6 +52,17 @@ const (
 	// internal/cluster). Recovery: cluster failover re-instantiates
 	// the lost VMs on surviving hosts with §7.1's placement.
 	KindHostFailure
+	// KindToolstackCrash kills the toolstack at a labeled crash point
+	// inside a lifecycle operation (sites: XL/Chaos Create/Destroy,
+	// Pool.Prepare/finalize, clone). The operation aborts on the spot,
+	// leaving whatever partial state — store nodes, device-page
+	// entries, hv domains, pool shells — it had built. Recovery: the
+	// intent journal + scrubber (internal/toolstack/scrub.go) roll the
+	// half-done domain forward or back. Unlike every other kind this
+	// one is opt-in: a Plan with empty Kinds does NOT include it,
+	// because only crash-aware drivers (ext-churn, the fsck tests) can
+	// survive an operation that deliberately leaks.
+	KindToolstackCrash
 
 	numKinds
 )
@@ -58,6 +70,7 @@ const (
 var kindNames = [...]string{
 	"txn-conflict", "store-stall", "handshake-stall",
 	"migration-drop", "daemon-crash", "host-failure",
+	"toolstack-crash",
 }
 
 func (k Kind) String() string {
@@ -93,17 +106,37 @@ func (w Window) Contains(t sim.Time) bool {
 
 // Plan describes an injection campaign: the per-opportunity fault
 // probability, which fault classes participate (empty = all), and the
-// virtual-time window in which injection is live.
+// virtual-time window in which injection is live. Sites, when
+// non-empty, restricts FireSite to the named labels (Fire is
+// unaffected) — tests use it to crash at one exact lifecycle step.
 type Plan struct {
 	Rate   float64
 	Kinds  []Kind
 	Window Window
+	Sites  []string
 }
 
-// mask folds Kinds to a bitmask (empty = everything).
+// siteAllowed reports whether a labeled site participates.
+func (p Plan) siteAllowed(site string) bool {
+	if len(p.Sites) == 0 {
+		return true
+	}
+	for _, s := range p.Sites {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// mask folds Kinds to a bitmask. Empty means "everything that is
+// safe to survive in-line": KindToolstackCrash deliberately abandons
+// an operation half-done, so it only participates when named
+// explicitly — existing rate sweeps (ext-faults) keep their exact
+// schedules and fault-oblivious drivers never see torn state.
 func (p Plan) mask() uint64 {
 	if len(p.Kinds) == 0 {
-		return 1<<numKinds - 1
+		return (1<<numKinds - 1) &^ (1 << KindToolstackCrash)
 	}
 	var m uint64
 	for _, k := range p.Kinds {
@@ -129,6 +162,12 @@ type Injector struct {
 	opportunities [numKinds]uint64
 	injected      [numKinds]uint64
 	aux           [numKinds]uint64 // side streams (jitter, fractions)
+
+	// sites tracks per-label opportunity/injection counters for
+	// FireSite callers. Lazily allocated; labeled sites share the
+	// kind's single decision stream, so adding a label never perturbs
+	// the schedule.
+	sites map[string]*SiteStat
 }
 
 // New returns an injector for plan, keyed to clock and seed. Rates are
@@ -181,6 +220,68 @@ func (in *Injector) Fire(k Kind) bool {
 		return true
 	}
 	return false
+}
+
+// Enabled reports whether kind k can ever fire under this injector's
+// plan — the cheap gate callers use to skip bookkeeping (journal
+// writes, crash-point checks) that only matters when the kind is
+// live. It consumes no stream positions.
+func (in *Injector) Enabled(k Kind) bool {
+	if in == nil || in.plan.Rate <= 0 || k < 0 || k >= numKinds {
+		return false
+	}
+	return in.mask&(1<<k) != 0
+}
+
+// SiteStat is one labeled injection site's counters.
+type SiteStat struct {
+	Site          string `json:"site"`
+	Kind          string `json:"kind"`
+	Opportunities uint64 `json:"opportunities"`
+	Injected      uint64 `json:"injected"`
+}
+
+// FireSite is Fire with a site label: identical decision (same kind
+// stream, same schedule), plus per-site opportunity/injection
+// counters for reports. Sites that consult a disabled kind count
+// nothing, so fault-free runs allocate nothing. A site excluded by
+// Plan.Sites counts its opportunity but never fires (and consumes no
+// stream position, so narrowing Sites is its own schedule).
+func (in *Injector) FireSite(k Kind, site string) bool {
+	if !in.Enabled(k) {
+		return false
+	}
+	if in.sites == nil {
+		in.sites = make(map[string]*SiteStat)
+	}
+	st := in.sites[site]
+	if st == nil {
+		st = &SiteStat{Site: site, Kind: k.String()}
+		in.sites[site] = st
+	}
+	st.Opportunities++
+	if !in.plan.siteAllowed(site) {
+		return false
+	}
+	fired := in.Fire(k)
+	if fired {
+		st.Injected++
+	}
+	return fired
+}
+
+// SiteStats returns every labeled site's counters, sorted by site
+// name for deterministic reports. Nil injectors return nil.
+func (in *Injector) SiteStats() []SiteStat {
+	if in == nil || len(in.sites) == 0 {
+		return nil
+	}
+	out := make([]SiteStat, 0, len(in.sites))
+	for _, st := range in.sites {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
 }
 
 // Jitter returns a deterministic duration in [0, max) from k's side

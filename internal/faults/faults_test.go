@@ -151,3 +151,90 @@ func TestJitterBoundedAndDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestToolstackCrashOptInOnly(t *testing.T) {
+	// Empty Kinds must NOT include the crash kind: existing rate
+	// sweeps rely on Plan{Rate: r} leaving lifecycle ops intact.
+	in := New(sim.NewClock(), 3, Plan{Rate: 1})
+	for i := 0; i < 100; i++ {
+		if in.Fire(KindToolstackCrash) {
+			t.Fatal("toolstack-crash fired under an empty-Kinds plan")
+		}
+	}
+	if in.Opportunities(KindToolstackCrash) != 0 {
+		t.Fatal("masked crash kind consumed stream positions")
+	}
+	if in.Enabled(KindToolstackCrash) {
+		t.Fatal("Enabled reported a masked kind as live")
+	}
+	// Named explicitly, it fires like any other kind.
+	in = New(sim.NewClock(), 3, Plan{Rate: 1, Kinds: []Kind{KindToolstackCrash}})
+	if !in.Enabled(KindToolstackCrash) {
+		t.Fatal("Enabled false for an explicitly planned kind")
+	}
+	if !in.Fire(KindToolstackCrash) {
+		t.Fatal("rate-1 explicit plan did not fire")
+	}
+}
+
+func TestFireSiteCountersAndSchedule(t *testing.T) {
+	plan := Plan{Rate: 0.5, Kinds: []Kind{KindToolstackCrash}}
+	// FireSite must consume the same stream as Fire: interleaving
+	// labels cannot change the schedule.
+	ref := New(sim.NewClock(), 11, plan)
+	var want []bool
+	for i := 0; i < 400; i++ {
+		want = append(want, ref.Fire(KindToolstackCrash))
+	}
+	in := New(sim.NewClock(), 11, plan)
+	sites := []string{"xl.create.hv", "xl.destroy.devices", "pool.finalize"}
+	var got []bool
+	for i := 0; i < 400; i++ {
+		got = append(got, in.FireSite(KindToolstackCrash, sites[i%len(sites)]))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("decision %d: FireSite=%v Fire=%v", i, got[i], want[i])
+		}
+	}
+	stats := in.SiteStats()
+	if len(stats) != len(sites) {
+		t.Fatalf("SiteStats len = %d, want %d", len(stats), len(sites))
+	}
+	var opp, inj uint64
+	for i, st := range stats {
+		if i > 0 && stats[i-1].Site >= st.Site {
+			t.Fatalf("SiteStats not sorted: %q before %q", stats[i-1].Site, st.Site)
+		}
+		if st.Kind != "toolstack-crash" {
+			t.Fatalf("site %q kind = %q", st.Site, st.Kind)
+		}
+		opp += st.Opportunities
+		inj += st.Injected
+	}
+	if opp != 400 {
+		t.Fatalf("total site opportunities = %d, want 400", opp)
+	}
+	if inj != in.Injected(KindToolstackCrash) {
+		t.Fatalf("site injections %d != kind injections %d", inj, in.Injected(KindToolstackCrash))
+	}
+	if inj == 0 || inj == 400 {
+		t.Fatalf("degenerate injection count %d at rate 0.5", inj)
+	}
+}
+
+func TestFireSiteDisabledAllocatesNothing(t *testing.T) {
+	in := New(sim.NewClock(), 5, Plan{Rate: 1}) // crash kind masked
+	for i := 0; i < 10; i++ {
+		if in.FireSite(KindToolstackCrash, "xl.create.hv") {
+			t.Fatal("masked FireSite fired")
+		}
+	}
+	if in.SiteStats() != nil {
+		t.Fatal("disabled sites recorded stats")
+	}
+	var nilIn *Injector
+	if nilIn.FireSite(KindToolstackCrash, "x") || nilIn.SiteStats() != nil || nilIn.Enabled(KindToolstackCrash) {
+		t.Fatal("nil injector not inert for site API")
+	}
+}

@@ -2,6 +2,7 @@ package hv
 
 import (
 	"fmt"
+	"sort"
 
 	"lightvm/internal/costs"
 )
@@ -141,3 +142,55 @@ func (h *Hypervisor) EndGrant(r GrantRef) error {
 
 // NumGrants reports live grant entries (diagnostic).
 func (h *Hypervisor) NumGrants() int { return len(h.grants) }
+
+// Endpoint names one side of an event channel or grant as seen by an
+// auditor: which domains the entry ties together.
+type Endpoint struct {
+	Owner DomID
+	Peer  DomID
+}
+
+// PortEndpoints lists every live event channel's (owner, peer) pair,
+// sorted by port number. It is a pure inspection: no virtual time is
+// charged, so invariant checkers can call it without perturbing runs.
+func (h *Hypervisor) PortEndpoints() []Endpoint {
+	ports := make([]Port, 0, len(h.ports))
+	for p := range h.ports {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	out := make([]Endpoint, len(ports))
+	for i, p := range ports {
+		ch := h.ports[p]
+		out[i] = Endpoint{Owner: ch.owner, Peer: ch.peer}
+	}
+	return out
+}
+
+// GrantEndpoints lists every live grant's (owner, peer) pair, sorted
+// by grant ref. Clock-free, like PortEndpoints.
+func (h *Hypervisor) GrantEndpoints() []Endpoint {
+	refs := make([]GrantRef, 0, len(h.grants))
+	for r := range h.grants {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
+	out := make([]Endpoint, len(refs))
+	for i, r := range refs {
+		g := h.grants[r]
+		out[i] = Endpoint{Owner: g.owner, Peer: g.peer}
+	}
+	return out
+}
+
+// HasPort reports whether a port exists, without charging time.
+func (h *Hypervisor) HasPort(p Port) bool {
+	_, ok := h.ports[p]
+	return ok
+}
+
+// HasGrant reports whether a grant ref exists, without charging time.
+func (h *Hypervisor) HasGrant(r GrantRef) bool {
+	_, ok := h.grants[r]
+	return ok
+}

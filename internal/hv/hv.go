@@ -337,7 +337,10 @@ func (h *Hypervisor) DestroyDomain(id DomID) error {
 		}
 	}
 	for ref, g := range h.grants {
-		if g.owner == id {
+		// Both endpoints release: a dying guest's mappings of Dom0
+		// backend grants (owner=0, peer=guest) must not outlive it, or
+		// the grant table fills with entries no one can ever end.
+		if g.owner == id || g.peer == id {
 			delete(h.grants, ref)
 		}
 	}

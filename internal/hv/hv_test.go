@@ -399,3 +399,50 @@ func TestPopulateSharedCheaperThanPrivate(t *testing.T) {
 		t.Fatalf("shared mapping (%v) not cheaper than populate (%v)", sharedCost, privateCost)
 	}
 }
+
+func TestDestroyReleasesPeerGrants(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	// Classic backend shape: Dom0 grants its pages to the guest.
+	r, err := h.GrantAccess(0, d.ID, 42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own, err := h.GrantAccess(d.ID, 0, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DestroyDomain(d.ID); err != nil {
+		t.Fatal(err)
+	}
+	if h.HasGrant(r) {
+		t.Fatal("Dom0→guest grant survived the guest's destruction")
+	}
+	if h.HasGrant(own) {
+		t.Fatal("guest-owned grant survived the guest's destruction")
+	}
+	if h.NumGrants() != 0 {
+		t.Fatalf("%d grants leaked after destroy", h.NumGrants())
+	}
+}
+
+func TestEndpointIntrospectionIsClockFree(t *testing.T) {
+	h := newHV()
+	d, _ := h.CreateDomain(Config{MaxMem: mib})
+	p, _ := h.AllocUnboundPort(0, d.ID)
+	g, _ := h.GrantAccess(0, d.ID, 1, false)
+	before := h.Clock.Now()
+	pe := h.PortEndpoints()
+	ge := h.GrantEndpoints()
+	_ = h.HasPort(p)
+	_ = h.HasGrant(g)
+	if h.Clock.Now() != before {
+		t.Fatal("introspection charged virtual time")
+	}
+	if len(pe) != 1 || pe[0] != (Endpoint{Owner: 0, Peer: d.ID}) {
+		t.Fatalf("PortEndpoints = %+v", pe)
+	}
+	if len(ge) != 1 || ge[0] != (Endpoint{Owner: 0, Peer: d.ID}) {
+		t.Fatalf("GrantEndpoints = %+v", ge)
+	}
+}

@@ -20,6 +20,7 @@ package noxs
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"lightvm/internal/costs"
 	"lightvm/internal/devd"
@@ -58,7 +59,14 @@ type Module struct {
 	Hotplug devd.Hotplug
 
 	sysctl map[hv.DomID]*sysctlState
-	Count  Counters
+	// journal is the toolstack's intent journal, kept in module (Dom0
+	// kernel) memory: the chaos toolstack process can die mid-operation
+	// but the module survives, so a restarted toolstack reads the
+	// journal back and rolls half-done lifecycle steps forward or back.
+	// This mirrors where the noxs design keeps device truth — in kernel
+	// pages, not a store daemon.
+	journal map[string]string
+	Count   Counters
 }
 
 // NewModule loads the module against h, plumbing vifs through hp
@@ -74,6 +82,50 @@ func (m *Module) ioctl() {
 	m.Count.Ioctls++
 	scan := sim.Duration(m.HV.NumDomains()) * costs.NoxsPerDomainKernelScan
 	m.Clock.Sleep(costs.IoctlRoundTrip + scan)
+}
+
+// JournalEntry is one intent-journal record.
+type JournalEntry struct {
+	Key    string
+	Record string
+}
+
+// JournalSet records the lifecycle step the toolstack is about to run
+// for key (one ioctl: the table lives module-side).
+func (m *Module) JournalSet(key, record string) {
+	m.ioctl()
+	if m.journal == nil {
+		m.journal = make(map[string]string)
+	}
+	m.journal[key] = record
+}
+
+// JournalClear removes key's record once the operation completes.
+func (m *Module) JournalClear(key string) {
+	m.ioctl()
+	delete(m.journal, key)
+}
+
+// JournalScan reads the whole journal back (recovery path after a
+// toolstack restart) — one ioctl regardless of size; the table is a
+// handful of in-flight operations, never O(#domains).
+func (m *Module) JournalScan() []JournalEntry {
+	m.ioctl()
+	return m.JournalEntries()
+}
+
+// JournalEntries lists the journal without charging time (invariant
+// checker's view). Sorted by key for determinism.
+func (m *Module) JournalEntries() []JournalEntry {
+	if len(m.journal) == 0 {
+		return nil
+	}
+	out := make([]JournalEntry, 0, len(m.journal))
+	for k, v := range m.journal {
+		out = append(out, JournalEntry{Key: k, Record: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // CreateDevice is steps 1–2 of Fig. 7b: the backend allocates the

@@ -1,12 +1,12 @@
 package toolstack
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
 
 	"lightvm/internal/costs"
-	"lightvm/internal/devd"
 	"lightvm/internal/guest"
 	"lightvm/internal/hv"
 	"lightvm/internal/xenbus"
@@ -31,7 +31,7 @@ func NewChaos(env *Env, mode Mode) *Chaos {
 		// Under the fault plane, vif setup degrades to bash scripts
 		// while the pool daemon is down (SetFaults installs the same
 		// shim if the injector is attached after the driver).
-		env.SetVifHotplug(&devd.Failover{Primary: env.Xendevd, Backup: env.Bash, Down: env.Pool.DaemonDown})
+		env.armVifFailover()
 	} else {
 		env.SetVifHotplug(env.Xendevd)
 	}
@@ -63,9 +63,18 @@ func (c *Chaos) Create(name string, img guest.Image) (*VM, error) {
 		}
 
 		mark(&bd.Config, func() { e.Clock.Sleep(costs.ConfigParseChaos) })
+		// The intent journal goes where this mode keeps its truth: a
+		// store node on the XS paths, the noxs module's kernel-side
+		// table otherwise. Written before any durable state, updated
+		// once the domain ID is known.
+		us := c.mode.UsesStore()
+		mark(&bd.Toolstack, func() { e.journalSet(us, name, journalOpCreate, "hv", 0) })
+		if retErr = e.crashPoint("chaos.create.begin"); retErr != nil {
+			return
+		}
 		mark(&bd.Toolstack, func() { e.Clock.Sleep(costs.ToolstackInternalChaos) })
 
-		flavor := FlavorFor(img, c.mode.UsesStore())
+		flavor := FlavorFor(img, us)
 		if c.mode.UsesSplit() {
 			// Execute phase on a pre-created shell.
 			var shell *Shell
@@ -73,7 +82,8 @@ func (c *Chaos) Create(name string, img guest.Image) (*VM, error) {
 				shell = e.Pool.Take(flavor)
 			})
 			if shell == nil {
-				// Pool miss: prepare inline, paying full price.
+				// Pool miss: prepare inline, paying full price. Prepare
+				// has its own crash points journaled under shell:<id>.
 				mark(&bd.Hypervisor, func() {
 					var err error
 					shell, err = e.Pool.Prepare(flavor)
@@ -86,6 +96,7 @@ func (c *Chaos) Create(name string, img guest.Image) (*VM, error) {
 				}
 			}
 			vm.Dom, vm.Core = shell.Dom, shell.Core
+			mark(&bd.Toolstack, func() { e.journalSet(us, name, journalOpCreate, "finalize", vm.Dom.ID) })
 			mark(&bd.Devices, func() { retErr = e.Pool.finalizeDevices(shell, img) })
 			if retErr != nil {
 				return
@@ -106,13 +117,20 @@ func (c *Chaos) Create(name string, img guest.Image) (*VM, error) {
 			if retErr != nil {
 				return
 			}
+			mark(&bd.Toolstack, func() { e.journalSet(us, name, journalOpCreate, "devices", vm.Dom.ID) })
+			if retErr = e.crashPoint("chaos.create.hv"); retErr != nil {
+				return
+			}
 			mark(&bd.Devices, func() { retErr = c.createDevices(vm) })
 			if retErr != nil {
 				return
 			}
 		}
+		if retErr = e.crashPoint("chaos.create.devices"); retErr != nil {
+			return
+		}
 
-		if c.mode.UsesStore() {
+		if us {
 			// chaos keeps only the handful of entries guests need.
 			mark(&bd.XenStore, func() {
 				domPath := fmt.Sprintf("/local/domain/%d", vm.Dom.ID)
@@ -120,6 +138,9 @@ func (c *Chaos) Create(name string, img guest.Image) (*VM, error) {
 				e.Store.Write(domPath+"/memory/target", strconv.FormatUint(img.MemBytes/1024, 10))
 				e.Store.Write(domPath+"/console/port", "2")
 			})
+			if retErr = e.crashPoint("chaos.create.store"); retErr != nil {
+				return
+			}
 		}
 
 		mark(&bd.Load, func() {
@@ -129,14 +150,24 @@ func (c *Chaos) Create(name string, img guest.Image) (*VM, error) {
 			return
 		}
 		mark(&bd.Hypervisor, func() { retErr = e.HV.Unpause(vm.Dom.ID) })
+		if retErr != nil {
+			return
+		}
+		retErr = e.crashPoint("chaos.create.finalize")
 	})
 	if retErr != nil {
 		e.forget(vm)
-		if vm.Dom != nil {
-			_ = e.HV.DestroyDomain(vm.Dom.ID)
+		if errors.Is(retErr, ErrToolstackCrash) {
+			// Process died mid-creation: partial state stays for recovery.
+			return nil, retErr
 		}
+		if vm.Dom != nil {
+			retErr = e.rollbackDomain(retErr, c.mode.UsesStore(), name, vm.Dom.ID)
+		}
+		e.journalClear(c.mode.UsesStore(), name)
 		return nil, retErr
 	}
+	e.journalClear(c.mode.UsesStore(), name)
 	vm.LastBreakdown = bd
 	vm.CreateTime = e.Clock.Now().Sub(start)
 
@@ -178,12 +209,20 @@ func (c *Chaos) createDevices(vm *VM) error {
 	return err
 }
 
-// Destroy implements Driver.
+// Destroy implements Driver. As in xl, crash points sit after the
+// guest is unregistered, and the destroy intent rolls forward on
+// recovery.
 func (c *Chaos) Destroy(vm *VM) error {
 	e := c.env
+	us := c.mode.UsesStore()
+	var crashErr error
 	e.RunDom0(func() {
 		e.UnregisterRunning(vm)
-		if c.mode.UsesStore() {
+		e.journalSet(us, vm.Name, journalOpDestroy, "devices", vm.Dom.ID)
+		if crashErr = e.crashPoint("chaos.destroy.begin"); crashErr != nil {
+			return
+		}
+		if us {
 			for i, dev := range vm.Image.Devices {
 				switch dev.Kind {
 				case hv.DevVif:
@@ -195,14 +234,27 @@ func (c *Chaos) Destroy(vm *VM) error {
 				}
 				xenbus.RemoveDeviceEntries(e.Store, vm.Dom.ID, dev.Kind, i)
 			}
+			if crashErr = e.crashPoint("chaos.destroy.devices"); crashErr != nil {
+				return
+			}
 			_ = e.Store.Rm(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
 		} else {
 			e.Noxs.DestroyAll(vm.Dom.ID)
+			if crashErr = e.crashPoint("chaos.destroy.devices"); crashErr != nil {
+				return
+			}
 		}
 		e.Clock.Sleep(costs.ToolstackInternalChaos)
 	})
 	e.forget(vm)
+	if crashErr != nil {
+		return crashErr
+	}
+	if crashErr = e.crashPoint("chaos.destroy.hv"); crashErr != nil {
+		return crashErr
+	}
 	err := e.HV.DestroyDomain(vm.Dom.ID)
+	e.journalClear(us, vm.Name)
 	e.Trace.Emit("toolstack", "destroy", vm.Name, "mode="+c.mode.String(), 0)
 	return err
 }

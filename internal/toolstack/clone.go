@@ -1,6 +1,7 @@
 package toolstack
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -29,9 +30,14 @@ func (e *Env) CloneVM(parent *VM, name string) (*VM, error) {
 	if err := e.register(vm); err != nil {
 		return nil, err
 	}
+	us := vm.Mode.UsesStore()
 	var retErr error
 	start := e.Clock.Now()
 	e.RunDom0(func() {
+		e.journalSet(us, name, journalOpClone, "hv", 0)
+		if retErr = e.crashPoint("clone.begin"); retErr != nil {
+			return
+		}
 		key := "clone:" + parent.Name
 		memMB := float64(img.MemBytes) / (1 << 20)
 		if e.HV.Share.Refs(key) == 0 {
@@ -46,6 +52,10 @@ func (e *Env) CloneVM(parent *VM, name string) (*VM, error) {
 			return
 		}
 		vm.Dom = dom
+		e.journalSet(us, name, journalOpClone, "devices", dom.ID)
+		if retErr = e.crashPoint("clone.hv"); retErr != nil {
+			return
+		}
 		private := uint64(float64(img.MemBytes) * costs.CloneWorkingSetFraction)
 		shared := img.MemBytes - private
 		if err := e.HV.PopulateShared(dom.ID, key, shared); err != nil {
@@ -102,16 +112,28 @@ func (e *Env) CloneVM(parent *VM, name string) (*VM, error) {
 				return
 			}
 		}
+		if retErr = e.crashPoint("clone.devices"); retErr != nil {
+			return
+		}
 		dom.State = hv.StateSuspended // clone resumes, it does not boot
-		retErr = e.HV.Unpause(dom.ID)
+		if retErr = e.HV.Unpause(dom.ID); retErr != nil {
+			return
+		}
+		retErr = e.crashPoint("clone.finalize")
 	})
 	if retErr != nil {
 		e.forget(vm)
-		if vm.Dom != nil {
-			_ = e.HV.DestroyDomain(vm.Dom.ID)
+		if errors.Is(retErr, ErrToolstackCrash) {
+			// Process died mid-clone: partial state stays for recovery.
+			return nil, retErr
 		}
+		if vm.Dom != nil {
+			retErr = e.rollbackDomain(retErr, us, name, vm.Dom.ID)
+		}
+		e.journalClear(us, name)
 		return nil, retErr
 	}
+	e.journalClear(us, name)
 	if err := e.BootResumed(vm); err != nil {
 		return nil, err
 	}

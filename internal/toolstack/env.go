@@ -143,6 +143,10 @@ type Env struct {
 
 	// dom0Wake tracks aggregate guest wake rate for Dom0 dilation.
 	dom0WakeRate float64
+
+	// dead marks a host killed by a simulated whole-machine failure:
+	// its frozen state is excluded from FsckTracked audits.
+	dead bool
 }
 
 // NewEnv wires a complete Dom0 on machine with hostMem bytes of RAM.
@@ -168,21 +172,33 @@ func NewEnv(clock *sim.Clock, machine sched.Machine) *Env {
 	e.Console = console.NewDaemon()
 	// Dom0 daemons hold a couple of store connections.
 	e.Store.Connections = 3
+	trackEnv(e) // no-op unless the -fsck gate enabled tracking
 	return e
 }
 
 // SetVifHotplug selects the hotplug mechanism for vif setup.
 func (e *Env) SetVifHotplug(hp devd.Hotplug) { e.BackVif.Hotplug = hp }
 
+// armVifFailover wraps xendevd in a failover shim on BOTH vif setup
+// paths — the store backend and the noxs module — so that while the
+// pool daemon is down after a crash, vif hotplug degrades to the
+// stock bash scripts until the daemon restarts. Routing through the
+// shim is cost-free while the daemon is up (it delegates straight to
+// xendevd), so arming it never perturbs fault-free timelines.
+func (e *Env) armVifFailover() {
+	fo := &devd.Failover{Primary: e.Xendevd, Backup: e.Bash, Down: e.Pool.DaemonDown}
+	e.SetVifHotplug(fo)
+	e.Noxs.Hotplug = fo
+}
+
 // SetFaults attaches a fault injector to the environment and its
-// store. If the vif hotplug path is currently xendevd, it gains a
-// failover shim: while the pool daemon is down after a crash, vif
-// setup degrades to the stock bash scripts until the daemon restarts.
+// store. If the vif hotplug path is currently xendevd, it gains the
+// failover shim (see armVifFailover).
 func (e *Env) SetFaults(in *faults.Injector) {
 	e.Faults = in
 	e.Store.Faults = in
 	if hp, ok := e.BackVif.Hotplug.(*devd.Xendevd); in != nil && ok && hp == e.Xendevd {
-		e.SetVifHotplug(&devd.Failover{Primary: e.Xendevd, Backup: e.Bash, Down: e.Pool.DaemonDown})
+		e.armVifFailover()
 	}
 }
 

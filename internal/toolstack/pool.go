@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"lightvm/internal/costs"
 	"lightvm/internal/faults"
@@ -68,16 +70,26 @@ type PoolStats struct {
 // the experiment harness invokes it between measured creations, which
 // is exactly when the real daemon gets the CPU.
 type Pool struct {
-	env     *Env
-	target  int
+	env    *Env
+	target int
+
+	// mu serializes the daemon's work: Take/Prepare/Replenish (and the
+	// shell/flavor/Stats state they touch) run one at a time, exactly
+	// like the single-threaded chaos daemon. The environment's clock is
+	// only ever advanced under mu on these paths, which is what makes
+	// concurrent callers -race-clean.
+	mu      sync.Mutex
 	shells  map[string][]*Shell
 	flavors map[string]Flavor
 	Stats   PoolStats
 
 	// downUntil is when the restarted daemon comes back after an
 	// injected crash; until then Take misses and Replenish is a no-op,
-	// so creations fall back to the inline (cold) prepare path.
-	downUntil sim.Time
+	// so creations fall back to the inline (cold) prepare path. It is
+	// an atomic (not mu-guarded) because DaemonDown is consulted from
+	// inside reap/prepare work that already holds mu — the hotplug
+	// failover shim reads it mid-teardown — and must stay lock-free.
+	downUntil atomic.Int64
 }
 
 // NewPool creates an empty pool with a default target depth of 8.
@@ -89,16 +101,49 @@ func NewPool(env *Env) *Pool {
 func (p *Pool) SetTarget(n int) { p.target = n }
 
 // Available reports ready shells for a flavor.
-func (p *Pool) Available(f Flavor) int { return len(p.shells[f.key()]) }
+func (p *Pool) Available(f Flavor) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.shells[f.key()])
+}
+
+// ShellDomIDs lists the domains backing every pooled shell, sorted.
+// The scrubber and the invariant checker cross-reference it: pooled
+// shells are live control-plane state, not orphans.
+func (p *Pool) ShellDomIDs() []hv.DomID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []hv.DomID
+	for _, q := range p.shells {
+		for _, s := range q {
+			out = append(out, s.Dom.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Register records a flavor for Replenish to keep stocked, without
+// consuming a shell. Callers that only want the pool primed (EnsureFlavor,
+// placement probes) use this instead of a throwaway Take — taking a
+// shell with nowhere to put it back would orphan its domain.
+func (p *Pool) Register(f Flavor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flavors[f.key()] = f
+}
 
 // DaemonDown reports whether the pool daemon is currently dead (an
-// injected crash whose restart window has not elapsed yet).
-func (p *Pool) DaemonDown() bool { return p.env.Clock.Now() < p.downUntil }
+// injected crash whose restart window has not elapsed yet). Lock-free
+// on purpose: the hotplug failover shim consults it from teardown
+// paths that run while mu is already held.
+func (p *Pool) DaemonDown() bool { return p.env.Clock.Now() < sim.Time(p.downUntil.Load()) }
 
 // crash models the chaos daemon dying: its in-memory shell bookkeeping
 // is lost, so the restarted daemon reaps every orphaned shell, and the
 // pool stays empty until the restart completes. Flavors are reaped in
-// sorted key order to keep the reap schedule deterministic.
+// sorted key order to keep the reap schedule deterministic. Caller
+// holds mu.
 func (p *Pool) crash() {
 	e := p.env
 	keys := make([]string, 0, len(p.shells))
@@ -113,7 +158,7 @@ func (p *Pool) crash() {
 		delete(p.shells, k)
 	}
 	p.Stats.Crashes++
-	p.downUntil = e.Clock.Now().Add(costs.PoolDaemonRestart)
+	p.downUntil.Store(int64(e.Clock.Now().Add(costs.PoolDaemonRestart)))
 	e.Trace.Emit("pool", "crash", "", "", 0)
 }
 
@@ -143,6 +188,8 @@ func (p *Pool) reap(s *Shell) {
 // (the caller then prepares inline, paying the full cost). The flavor
 // is remembered so Replenish keeps it stocked.
 func (p *Pool) Take(f Flavor) *Shell {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	k := f.key()
 	p.flavors[k] = f
 	if p.env.Faults.Fire(faults.KindDaemonCrash) {
@@ -166,16 +213,26 @@ func (p *Pool) Take(f Flavor) *Shell {
 	return s
 }
 
-// Replenish tops every known flavor up to the target depth, charging
-// the prepare work to the current (background) time. While the daemon
-// is down after a crash there is nobody to do the work.
+// Replenish tops every known flavor up to the target depth (in sorted
+// key order, so the prepare schedule is deterministic however flavors
+// were registered), charging the prepare work to the current
+// (background) time. While the daemon is down after a crash there is
+// nobody to do the work.
 func (p *Pool) Replenish() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.DaemonDown() {
 		return nil
 	}
-	for k, f := range p.flavors {
+	keys := make([]string, 0, len(p.flavors))
+	for k := range p.flavors {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		f := p.flavors[k]
 		for len(p.shells[k]) < p.target {
-			s, err := p.Prepare(f)
+			s, err := p.prepare(f)
 			if err != nil {
 				return err
 			}
@@ -189,15 +246,35 @@ func (p *Pool) Replenish() error {
 // reservation, compute allocation, memory reservation + preparation,
 // and device pre-creation (Fig. 8 steps 1–5).
 func (p *Pool) Prepare(f Flavor) (*Shell, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.prepare(f)
+}
+
+// prepare is Prepare with mu held. A shell being prepared is journaled
+// under "shell:<domid>" — if the daemon crashes at a crash point the
+// half-built shell leaks (no rollback) and recovery reaps it from the
+// journal; it never enters the pool, so it cannot also be reaped by a
+// later daemon-crash drain.
+func (p *Pool) prepare(f Flavor) (*Shell, error) {
 	e := p.env
 	core := e.Sched.Place()
 	dom, err := e.HV.CreateDomain(hv.Config{MaxMem: f.Img.MemBytes, VCPUs: 1, Cores: []int{core}})
 	if err != nil {
 		return nil, err
 	}
+	key := fmt.Sprintf("shell:%d", dom.ID)
+	e.journalSet(f.Store, key, journalOpPrepare, "devices", dom.ID)
+	if cerr := e.crashPoint("pool.prepare.hv"); cerr != nil {
+		return nil, cerr
+	}
+	rollback := func(err error) error {
+		err = e.rollbackDomain(err, f.Store, key, dom.ID)
+		e.journalClear(f.Store, key)
+		return err
+	}
 	if err := e.PopulateGuest(dom.ID, f.Img); err != nil {
-		_ = e.HV.DestroyDomain(dom.ID)
-		return nil, err
+		return nil, rollback(err)
 	}
 	if f.Store {
 		for i, dev := range f.Devices {
@@ -206,29 +283,39 @@ func (p *Pool) Prepare(f Flavor) (*Shell, error) {
 				xenbus.WriteDeviceEntries(tx, req)
 				return nil
 			}); err != nil {
-				return nil, err
+				return nil, rollback(err)
 			}
 			if err := xenbus.WaitBackendReady(e.Store, e.Clock, dom.ID, dev.Kind, i); err != nil {
-				return nil, err
+				return nil, rollback(err)
 			}
 		}
 	} else {
 		for i, dev := range f.Devices {
 			if _, err := e.Noxs.CreateDevice(dom.ID, dev.Kind, i, ""); err != nil {
-				return nil, err
+				return nil, rollback(err)
 			}
 		}
 	}
+	if cerr := e.crashPoint("pool.prepare.devices"); cerr != nil {
+		return nil, cerr
+	}
 	e.Clock.Sleep(costs.ShellPrepare)
 	p.Stats.Prepared++
+	e.journalClear(f.Store, key)
 	e.Trace.Emit("pool", "prepare", f.key(), "", 0)
 	return &Shell{Dom: dom, Core: core, Flavor: f}, nil
 }
 
 // finalizeDevices is the execute phase's "device initialization": set
-// the real MACs on the pre-created devices.
+// the real MACs on the pre-created devices. The crash point models the
+// toolstack dying between taking the shell and finishing it: the shell
+// is already out of the pool, so only the taker's journal record knows
+// about the domain.
 func (p *Pool) finalizeDevices(s *Shell, img guest.Image) error {
 	e := p.env
+	if err := e.crashPoint("pool.finalize"); err != nil {
+		return err
+	}
 	if s.Flavor.Store {
 		domPath := fmt.Sprintf("/local/domain/%d", s.Dom.ID)
 		return e.Store.Txn(8, func(tx *xenstore.Tx) error {

@@ -1,6 +1,7 @@
 package toolstack
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -79,16 +80,21 @@ func (u *Ukvm) Create(name string, img guest.Image) (*VM, error) {
 	if retErr != nil {
 		e.forget(vm)
 		if vm.Dom != nil {
-			_ = e.HV.DestroyDomain(vm.Dom.ID)
+			if derr := e.HV.DestroyDomain(vm.Dom.ID); derr != nil {
+				retErr = errors.Join(retErr, fmt.Errorf("toolstack: rollback of %q: %w", name, derr))
+			}
 		}
 		return nil, retErr
 	}
 	vm.CreateTime = e.Clock.Now().Sub(start)
 	bootStart := e.Clock.Now()
 	// Guest boot: no frontend negotiation beyond the monitor's direct
-	// paravirtual endpoints.
+	// paravirtual endpoints. The wake rate joins the Dom0 ledger here
+	// and leaves it in UnregisterRunning — a Destroy used to subtract a
+	// rate Create never added, driving the dilation ledger negative.
 	e.Sched.RunWork(e.Clock, vm.Core, img.BootWork)
 	e.Sched.AddGuest(vm.Core, img.WakeRatePerSec, img.WakeWork, img.UtilDuty)
+	e.dom0WakeRate += img.WakeRatePerSec
 	vm.Booted = true
 	vm.BootTime = e.Clock.Now().Sub(bootStart)
 	e.Trace.Emit("toolstack", "create", name, "mode=ukvm", vm.CreateTime+vm.BootTime)

@@ -1,6 +1,7 @@
 package toolstack
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -62,7 +63,14 @@ func (x *XL) Create(name string, img guest.Image) (*VM, error) {
 		// 1. Configuration parsing.
 		mark(&bd.Config, func() { e.Clock.Sleep(costs.ConfigParse) })
 
-		// 2. Toolstack-internal bookkeeping.
+		// 2. Toolstack-internal bookkeeping. The intent journal is
+		// written before any durable state exists, and updated once the
+		// domain ID is known, so a restarted xl can always find what
+		// this creation left behind.
+		mark(&bd.Toolstack, func() { e.journalSet(true, name, journalOpCreate, "hv", 0) })
+		if retErr = e.crashPoint("xl.create.begin"); retErr != nil {
+			return
+		}
 		mark(&bd.Toolstack, func() { e.Clock.Sleep(costs.ToolstackInternalXL) })
 
 		// 3. Hypervisor reservation + memory.
@@ -82,6 +90,10 @@ func (x *XL) Create(name string, img guest.Image) (*VM, error) {
 			}
 		})
 		if retErr != nil {
+			return
+		}
+		mark(&bd.Toolstack, func() { e.journalSet(true, name, journalOpCreate, "store", dom.ID) })
+		if retErr = e.crashPoint("xl.create.hv"); retErr != nil {
 			return
 		}
 
@@ -120,11 +132,17 @@ func (x *XL) Create(name string, img guest.Image) (*VM, error) {
 		if retErr != nil {
 			return
 		}
+		if retErr = e.crashPoint("xl.create.store"); retErr != nil {
+			return
+		}
 
 		// 5–7. Device pre-creation + initialization (split-driver
 		// handshake, bash hotplug).
 		mark(&bd.Devices, func() { retErr = x.createDevices(vm) })
 		if retErr != nil {
+			return
+		}
+		if retErr = e.crashPoint("xl.create.devices"); retErr != nil {
 			return
 		}
 
@@ -147,14 +165,25 @@ func (x *XL) Create(name string, img guest.Image) (*VM, error) {
 
 		// 9. Boot kick.
 		mark(&bd.Hypervisor, func() { retErr = e.HV.Unpause(dom.ID) })
+		if retErr != nil {
+			return
+		}
+		retErr = e.crashPoint("xl.create.finalize")
 	})
 	if retErr != nil {
 		e.forget(vm)
-		if vm.Dom != nil {
-			_ = e.HV.DestroyDomain(vm.Dom.ID)
+		if errors.Is(retErr, ErrToolstackCrash) {
+			// The toolstack process died mid-creation: no rollback runs,
+			// and whatever was built so far stays for scrub/recovery.
+			return nil, retErr
 		}
+		if vm.Dom != nil {
+			retErr = e.rollbackDomain(retErr, true, name, vm.Dom.ID)
+		}
+		e.journalClear(true, name)
 		return nil, retErr
 	}
+	e.journalClear(true, name)
 	vm.LastBreakdown = bd
 	vm.CreateTime = e.Clock.Now().Sub(start)
 
@@ -192,11 +221,19 @@ func (x *XL) createDevices(vm *VM) error {
 	return nil
 }
 
-// Destroy tears down devices, store state and the domain.
+// Destroy tears down devices, store state and the domain. Crash
+// points sit after the guest is already unregistered: a destroy
+// intent rolls FORWARD on recovery (the user asked for the domain to
+// go), so the journal is written before the first teardown step.
 func (x *XL) Destroy(vm *VM) error {
 	e := x.env
+	var crashErr error
 	e.RunDom0(func() {
 		e.UnregisterRunning(vm)
+		e.journalSet(true, vm.Name, journalOpDestroy, "devices", vm.Dom.ID)
+		if crashErr = e.crashPoint("xl.destroy.begin"); crashErr != nil {
+			return
+		}
 		for i, dev := range vm.Image.Devices {
 			switch dev.Kind {
 			case hv.DevVif:
@@ -208,13 +245,23 @@ func (x *XL) Destroy(vm *VM) error {
 			}
 			xenbus.RemoveDeviceEntries(e.Store, vm.Dom.ID, dev.Kind, i)
 		}
+		if crashErr = e.crashPoint("xl.destroy.devices"); crashErr != nil {
+			return
+		}
 		_ = e.Store.Rm(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
 		_ = e.Store.Rm("/vm/" + vm.Name)
 		_ = e.Store.Rm(fmt.Sprintf("/vm/names/%d", vm.Dom.ID))
 		e.Clock.Sleep(costs.ToolstackInternalXL / 2)
 	})
 	e.forget(vm)
+	if crashErr != nil {
+		return crashErr
+	}
+	if crashErr = e.crashPoint("xl.destroy.hv"); crashErr != nil {
+		return crashErr
+	}
 	err := e.HV.DestroyDomain(vm.Dom.ID)
+	e.journalClear(true, vm.Name)
 	e.Trace.Emit("toolstack", "destroy", vm.Name, "mode="+ModeXL.String(), 0)
 	return err
 }

@@ -47,6 +47,18 @@ const (
 	StateClosed       = 6
 )
 
+// KindName maps device kinds to their store directory names ("vif",
+// "vbd", "console") — exported so the scrubber can walk the backend
+// directories the same way the toolstack laid them out.
+func KindName(k hv.DevKind) string { return kindName(k) }
+
+// FrontendWatchToken is the token a running frontend registers its
+// backend-directory watch under; the scrubber unhooks dead guests'
+// watches by this token.
+func FrontendWatchToken(dom hv.DomID, kind hv.DevKind, idx int) string {
+	return fmt.Sprintf("fe-%d-%s-%d", dom, kindName(kind), idx)
+}
+
 // kindName maps device kinds to their store directory names.
 func kindName(k hv.DevKind) string {
 	switch k {
@@ -280,7 +292,7 @@ func ConnectFrontend(s *xenstore.Store, h *hv.Hypervisor, dom hv.DomID, kind hv.
 	s.Write(be+"/state", strconv.Itoa(StateConnected))
 	// A running frontend keeps a watch on its backend directory — one
 	// of the per-guest costs that accumulate against the store.
-	s.Watch(be, fmt.Sprintf("fe-%d-%s-%d", dom, kindName(kind), idx), func(string, string) {})
+	s.Watch(be, FrontendWatchToken(dom, kind, idx), func(string, string) {})
 	return nil
 }
 
@@ -291,5 +303,5 @@ func ConnectFrontend(s *xenstore.Store, h *hv.Hypervisor, dom hv.DomID, kind hv.
 func RemoveDeviceEntries(s *xenstore.Store, dom hv.DomID, kind hv.DevKind, idx int) {
 	_ = s.Rm(FrontendPath(dom, kind, idx))
 	_ = s.Rm(BackendPath(dom, kind, idx))
-	s.UnwatchByToken(fmt.Sprintf("fe-%d-%s-%d", dom, kindName(kind), idx))
+	s.UnwatchByToken(FrontendWatchToken(dom, kind, idx))
 }

@@ -1,0 +1,120 @@
+package xenstore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLedgerFollowsPlainRm(t *testing.T) {
+	// A toolstack destroy removes guest-owned nodes with plain Rm; the
+	// quota must come back to the actual owner anyway.
+	s, _ := newStore()
+	for _, p := range []string{"/local/domain/9/data/a", "/local/domain/9/data/b"} {
+		if err := s.WriteAsGuest(9, p, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.OwnerNodes(9) == 0 {
+		t.Fatal("no quota charged")
+	}
+	if err := s.Rm("/local/domain/9"); err != nil {
+		t.Fatal(err)
+	}
+	// /local and /local/domain were also created (and owned) by the
+	// guest write and survive the subtree removal.
+	if got := s.OwnerNodes(9); got != 2 {
+		t.Fatalf("domain 9 charged %d nodes after subtree Rm, want 2", got)
+	}
+	if v := s.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("CheckConsistency mid-way: %v", v)
+	}
+	if err := s.Rm("/local"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OwnerNodes(9); got != 0 {
+		t.Fatalf("plain Rm left domain 9 charged %d nodes", got)
+	}
+	if v := s.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("CheckConsistency: %v", v)
+	}
+}
+
+func TestLedgerFollowsSetPerm(t *testing.T) {
+	s, _ := newStore()
+	s.Write("/shared/ring", "x")
+	if err := s.SetPerm("/shared/ring", 4, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OwnerNodes(4); got != 1 {
+		t.Fatalf("ownership transfer charged %d nodes, want 1", got)
+	}
+	if err := s.SetPerm("/shared/ring", 0, PermNone); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OwnerNodes(4); got != 0 {
+		t.Fatalf("transfer back left %d nodes charged", got)
+	}
+	if v := s.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("CheckConsistency: %v", v)
+	}
+}
+
+func TestLedgerFollowsGraft(t *testing.T) {
+	src, _ := newStore()
+	if err := src.WriteAsGuest(3, "/local/domain/3/data/k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	sn := src.Snapshot()
+
+	dst, _ := newStore()
+	dst.Write("/local/domain/3/stale", "old")
+	if err := dst.GraftSnapshot(sn, "/local/domain/3", "/local/domain/3"); err != nil {
+		t.Fatal(err)
+	}
+	// The grafted subtree carries domain 3's owned nodes ("3" itself,
+	// "data", "k" — all created by the guest write on the source).
+	if got := dst.OwnerNodes(3); got != 3 {
+		t.Fatalf("graft charged %d nodes to domain 3, want 3", got)
+	}
+	if v := dst.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("CheckConsistency after graft: %v", v)
+	}
+	if err := dst.Rm("/local/domain/3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.OwnerNodes(3); got != 0 {
+		t.Fatalf("rm after graft left %d nodes charged", got)
+	}
+}
+
+func TestCheckConsistencyDetectsCorruption(t *testing.T) {
+	s, _ := newStore()
+	s.Write("/a/b", "v")
+	if v := s.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("clean store reported: %v", v)
+	}
+	before := s.clock.Now()
+	s.ownerNodes[12] = 5 // simulate a leaked ledger entry
+	v := s.CheckConsistency()
+	if len(v) != 1 || !strings.Contains(v[0], "domain 12") {
+		t.Fatalf("corruption not reported: %v", v)
+	}
+	if s.clock.Now() != before {
+		t.Fatal("CheckConsistency charged virtual time")
+	}
+	delete(s.ownerNodes, 12)
+}
+
+func TestWatchTokensSortedAndClockFree(t *testing.T) {
+	s, _ := newStore()
+	s.Watch("/local/domain/2", "fe-2-vif-0", func(string, string) {})
+	s.Watch("/local/domain/1", "fe-1-vif-0", func(string, string) {})
+	before := s.clock.Now()
+	got := s.WatchTokens()
+	if s.clock.Now() != before {
+		t.Fatal("WatchTokens charged virtual time")
+	}
+	if len(got) != 2 || got[0] != "fe-1-vif-0" || got[1] != "fe-2-vif-0" {
+		t.Fatalf("WatchTokens = %v", got)
+	}
+}

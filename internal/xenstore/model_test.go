@@ -124,15 +124,25 @@ func (m *refStore) writeAs(owner int, p, value string) {
 }
 
 func (m *refStore) writeAsGuest(owner int, p, value string) error {
-	if created := m.missing(p); created > 0 {
+	if created := m.missing(p); created > 0 && owner != 0 {
 		next := m.owned[owner] + created
-		if owner != 0 && m.quota > 0 && next > m.quota {
+		if m.quota > 0 && next > m.quota {
 			return ErrQuota
 		}
 		m.owned[owner] = next
 	}
 	m.writeAs(owner, p, value)
 	return nil
+}
+
+// debitOwner mirrors the store's per-node quota return.
+func (m *refStore) debitOwner(owner int) {
+	if owner == 0 {
+		return
+	}
+	if m.owned[owner]--; m.owned[owner] <= 0 {
+		delete(m.owned, owner)
+	}
 }
 
 func (m *refStore) read(p string) (string, error) {
@@ -193,6 +203,7 @@ func (m *refStore) rm(p string) error {
 	}
 	for q := range m.nodes {
 		if q == p || strings.HasPrefix(q, p+"/") {
+			m.debitOwner(m.nodes[q].owner)
 			delete(m.nodes, q)
 		}
 	}
@@ -206,14 +217,8 @@ func (m *refStore) rmOwned(owner int, p string) error {
 	if !m.exists(p) {
 		return ErrNoEnt
 	}
-	removed := m.subtreeSize(p)
-	if err := m.rm(p); err != nil {
-		return err
-	}
-	if m.owned[owner] -= removed; m.owned[owner] <= 0 {
-		delete(m.owned, owner)
-	}
-	return nil
+	// Quota returns to each node's actual owner inside rm.
+	return m.rm(p)
 }
 
 func (m *refStore) mkdir(p string) {
@@ -226,6 +231,12 @@ func (m *refStore) setPerm(p string, owner int, perm Perm) error {
 	n, ok := m.nodes[p]
 	if !ok {
 		return ErrNoEnt
+	}
+	if n.owner != owner {
+		m.debitOwner(n.owner)
+		if owner != 0 {
+			m.owned[owner]++
+		}
 	}
 	n.owner = owner
 	n.perm = perm
@@ -669,6 +680,12 @@ func runModelSequence(t *testing.T, seed int64, ops int) {
 		if got, want := s.OwnerNodes(owner), m.owned[owner]; got != want {
 			t.Fatalf("seed %d: quota ledger for domain %d: store %d, model %d", seed, owner, got, want)
 		}
+	}
+
+	// The store must also self-audit clean after every sequence: cached
+	// sizes, child counts, and the quota ledger all match the tree.
+	if v := s.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("seed %d: CheckConsistency: %v", seed, v)
 	}
 
 	// Every mid-sequence snapshot must still match the model copy taken

@@ -49,7 +49,9 @@ var ErrPermission = errors.New("xenstore: permission denied")
 // immutable tree it still publishes a fresh spine.
 func (s *Store) SetPerm(path string, owner int, perm Perm) error {
 	it := segments(path)
+	oldOwner := 0
 	newRoot, touched, found := updateAt(s.loaded().root, &it, func(n *node) *node {
+		oldOwner = n.owner
 		c := n.clone()
 		c.owner = owner
 		c.perm = perm
@@ -60,6 +62,24 @@ func (s *Store) SetPerm(path string, owner int, perm Perm) error {
 		return fmt.Errorf("%w: %s", ErrNoEnt, path)
 	}
 	s.publish(newRoot)
+	// Ownership moved: the node's quota charge follows it (recorded,
+	// not enforced — SET_PERMS is a Dom0 operation and must not fail
+	// halfway), keeping ledger == tree for every domain.
+	if oldOwner != owner {
+		if oldOwner != 0 {
+			if next := s.ownerNodes[oldOwner] - 1; next <= 0 {
+				delete(s.ownerNodes, oldOwner)
+			} else {
+				s.ownerNodes[oldOwner] = next
+			}
+		}
+		if owner != 0 {
+			if s.ownerNodes == nil {
+				s.ownerNodes = make(map[int]int)
+			}
+			s.ownerNodes[owner]++
+		}
+	}
 	return nil
 }
 

@@ -66,13 +66,19 @@ func (s *Store) variantFactor() sim.Duration {
 // SetNodeQuota sets the per-domain node limit (0 disables checks).
 func (s *Store) SetNodeQuota(limit int) { s.nodeQuota = limit }
 
-// nodeCount tracks per-owner node counts for quota enforcement.
+// chargeQuota tracks per-owner node counts for quota enforcement.
+// Dom0 is never recorded: it is unquota'd, and keeping it out of the
+// ledger preserves the invariant CheckConsistency audits — for every
+// owner ≠ 0, ledger count == nodes in the tree owned by that domain.
 func (s *Store) chargeQuota(owner int, delta int) error {
+	if owner == 0 {
+		return nil
+	}
 	if s.ownerNodes == nil {
 		s.ownerNodes = make(map[int]int)
 	}
 	next := s.ownerNodes[owner] + delta
-	if owner != 0 && s.nodeQuota > 0 && next > s.nodeQuota {
+	if s.nodeQuota > 0 && next > s.nodeQuota {
 		return fmt.Errorf("%w: domain %d at %d nodes", ErrQuota, owner, s.ownerNodes[owner])
 	}
 	s.ownerNodes[owner] = next
@@ -80,6 +86,43 @@ func (s *Store) chargeQuota(owner int, delta int) error {
 		delete(s.ownerNodes, owner)
 	}
 	return nil
+}
+
+// debitOwners returns quota for every owned node in a removed subtree,
+// crediting each node's actual owner (not whoever issued the remove).
+// With an empty ledger there is nothing to return, so toolstack-only
+// stores skip the walk entirely.
+func (s *Store) debitOwners(n *node) {
+	if len(s.ownerNodes) == 0 {
+		return
+	}
+	if n.owner != 0 {
+		if next := s.ownerNodes[n.owner] - 1; next <= 0 {
+			delete(s.ownerNodes, n.owner)
+		} else {
+			s.ownerNodes[n.owner] = next
+		}
+	}
+	n.eachChild(func(c *node) bool {
+		s.debitOwners(c)
+		return true
+	})
+}
+
+// creditOwners charges every owned node in a grafted subtree to its
+// owner. Restores are Dom0 operations, so quota limits are recorded
+// but not enforced (a restore must not half-fail).
+func (s *Store) creditOwners(n *node) {
+	if n.owner != 0 {
+		if s.ownerNodes == nil {
+			s.ownerNodes = make(map[int]int)
+		}
+		s.ownerNodes[n.owner]++
+	}
+	n.eachChild(func(c *node) bool {
+		s.creditOwners(c)
+		return true
+	})
 }
 
 // OwnerNodes reports the node count charged to a domain.
@@ -125,18 +168,16 @@ func (s *Store) missingNodes(path string) int {
 	}
 }
 
-// RmOwned removes a path owned by a guest, returning quota.
+// RmOwned removes a path on behalf of a guest. Quota is returned by
+// Rm itself, to each removed node's actual owner — the issuing domain
+// is only used for the error path, so a guest cannot launder another
+// domain's quota by removing a mixed-ownership subtree.
 func (s *Store) RmOwned(owner int, path string) error {
-	n, _, err := s.lookup(path)
-	if err != nil {
+	if _, _, err := s.lookup(path); err != nil {
 		s.chargeOp(1)
 		return err
 	}
-	removed := countNodes(n)
-	if err := s.Rm(path); err != nil {
-		return err
-	}
-	return s.chargeQuota(owner, -removed)
+	return s.Rm(path)
 }
 
 // variantExtra is folded into chargeOp: the C daemon pays the factor

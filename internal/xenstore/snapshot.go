@@ -283,9 +283,12 @@ func lastSegment(path string) string {
 // store's counter is advanced past the snapshot's so generation order
 // stays monotonic even for snapshots carried over from another store.
 //
-// Grafted nodes are not charged to any domain's quota: grafting is a
-// Dom0 toolstack operation, exactly like WriteAs. One op is charged
-// and watches fire once, on dstPath.
+// Grafting maintains the quota ledger like any other mutation: nodes
+// displaced from dstPath return quota to their owners, and grafted
+// nodes that carry a non-zero owner are charged to that domain
+// (recorded, not enforced — a restore is a Dom0 operation and must
+// not half-fail). One op is charged and watches fire once, on
+// dstPath.
 func (s *Store) GraftSnapshot(sn *Snapshot, srcPath, dstPath string) error {
 	sub, _ := resolveFrom(sn.root, srcPath)
 	if sub == nil {
@@ -297,6 +300,10 @@ func (s *Store) GraftSnapshot(sn *Snapshot, srcPath, dstPath string) error {
 		s.chargeOp(1)
 		return errors.New("xenstore: cannot graft onto the root")
 	}
+	if displaced, _ := s.resolve(dstPath); displaced != nil {
+		s.debitOwners(displaced)
+	}
+	s.creditOwners(sub)
 	if sn.gen > s.gen {
 		s.gen = sn.gen
 	}

@@ -471,6 +471,9 @@ func (s *Store) Rm(path string) error {
 		s.chargeOp(touched)
 		return fmt.Errorf("%w: %s", ErrNoEnt, path)
 	}
+	// Return quota to each removed node's actual owner, so the ledger
+	// always matches the tree (CheckConsistency's invariant).
+	s.debitOwners(removed)
 	s.publish(newRoot)
 	s.chargeOp(touched + removed.size + s.matchCost(path))
 	s.fireWatches(path)

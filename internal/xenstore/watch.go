@@ -1,6 +1,7 @@
 package xenstore
 
 import (
+	"sort"
 	"strings"
 
 	"lightvm/internal/costs"
@@ -111,6 +112,22 @@ func (s *Store) UnwatchByToken(token string) int {
 
 // NumWatches reports registered watches (diagnostic).
 func (s *Store) NumWatches() int { return len(s.watches) }
+
+// WatchTokens lists every registered watch's token, sorted. Clock-free
+// — the invariant checker uses it to find watches whose owning domain
+// is gone (each orphan inflates matchCost on every subsequent write,
+// one of the ways crash residue slows the store down).
+func (s *Store) WatchTokens() []string {
+	if len(s.watches) == 0 {
+		return nil
+	}
+	out := make([]string, len(s.watches))
+	for i, w := range s.watches {
+		out[i] = w.token
+	}
+	sort.Strings(out)
+	return out
+}
 
 func normalize(path string) string {
 	if len(path) > 1 && path[0] == '/' && path[len(path)-1] != '/' {

@@ -26,6 +26,7 @@ import (
 	"lightvm/internal/cluster"
 	"lightvm/internal/core"
 	"lightvm/internal/experiments"
+	"lightvm/internal/faults"
 	"lightvm/internal/guest"
 	"lightvm/internal/metrics"
 	"lightvm/internal/migrate"
@@ -174,7 +175,16 @@ type ExperimentResult struct {
 	// Profile is the per-figure pprof attribution report; nil unless
 	// the run requested profiling (see ExperimentOptions).
 	Profile *ExperimentProfile
+	// CrashSites tallies, per labeled toolstack crash point, how often
+	// the generator reached it and how often a crash was injected
+	// there. Nil unless the figure arms toolstack-crash faults
+	// (currently ext-churn).
+	CrashSites []CrashSiteStat
 }
+
+// CrashSiteStat is one labeled crash point's opportunity/injection
+// counters.
+type CrashSiteStat = faults.SiteStat
 
 // SubsystemCost is one simulator subsystem's share of a profile
 // dimension (flat CPU time or allocated heap bytes).
@@ -217,9 +227,10 @@ func toExperimentResult(res experiments.Result) ExperimentResult {
 		ID:        res.ID,
 		Paper:     res.Paper,
 		Output:    res.Table.String(),
-		WallMS:    float64(res.Wall) / 1e6,
-		VirtualMS: res.VirtualMS,
-		Allocs:    res.Allocs,
+		WallMS:     float64(res.Wall) / 1e6,
+		VirtualMS:  res.VirtualMS,
+		Allocs:     res.Allocs,
+		CrashSites: res.CrashSites,
 	}
 	if tab, ok := res.Table.(*metrics.Table); ok {
 		// Most of the paper's time figures are log-scale.
@@ -246,6 +257,29 @@ func toExperimentResult(res experiments.Result) ExperimentResult {
 	}
 	return out
 }
+
+// FsckViolation is one broken cross-layer invariant found by the
+// consistency checker: a store node, hypervisor domain, memory
+// charge, event channel, grant or pooled shell that no live guest
+// accounts for.
+type FsckViolation = toolstack.Violation
+
+// Fsck audits a quiescent host's cross-layer invariants and returns
+// every violation (empty = consistent). Run it after lifecycle
+// operations have finished, not mid-operation.
+func Fsck(h *Host) []FsckViolation { return toolstack.Fsck(h.Env) }
+
+// SetEnvTracking switches global environment tracking on or off
+// (clearing any tracked list). With tracking on, every environment
+// built afterwards — including the ones experiment generators build
+// internally — is registered for FsckTracked. Tracking pins
+// environments in memory; leave it off outside consistency gates.
+var SetEnvTracking = toolstack.SetEnvTracking
+
+// FsckTracked audits every live tracked environment (see
+// SetEnvTracking) and returns how many were checked plus all
+// violations found.
+var FsckTracked = toolstack.FsckTracked
 
 // RunExperiment regenerates one paper figure at the given scale
 // (1.0 = the paper's guest counts; smaller is proportionally cheaper).
