@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke profile-smoke fsck-smoke clean
+.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke bench-compare profile-smoke fsck-smoke clean
+
+# Newest checked-in benchmark report; bench-compare reruns its figures
+# and fails on regression. Override with BASELINE=path to pin another.
+BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 
 build:
 	$(GO) build ./...
@@ -8,12 +12,15 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-1 gate: build + vet + full tests, then the race detector over
-# the packages the parallel engine touches.
+# Tier-1 gate: build + vet + full tests (including the xenstore alloc
+# budgets in internal/xenstore/alloc_test.go), then the race detector
+# over the packages the parallel engine touches, then the benchmark
+# regression gate against the checked-in baseline report.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/experiments ./internal/xenstore ./internal/sim ./internal/profiling ./cmd/lightvm-bench
+	$(MAKE) bench-compare
 
 # Full gate with the race detector over every package (slower than
 # `verify`, which races only the concurrency-bearing ones).
@@ -84,6 +91,19 @@ bench-smoke:
 	$(GO) run ./cmd/lightvm-bench -exp all -scale 0.05 -parallel 0 -json
 	$(GO) run ./cmd/lightvm-bench -exp ext-faults -scale 0.02 -seed 7 -parallel 0
 
+# Regression gate: replay every figure at smoke scale with the same
+# seed as the checked-in baseline and diff the two reports with
+# cmd/benchdiff. Sequential (-parallel 1) so allocation counts are
+# exact rather than sampled; the wall threshold is generous because CI
+# runners jitter, while allocation counts are deterministic and gated
+# tightly.
+bench-compare:
+	@[ -n "$(BASELINE)" ] || { echo "bench-compare: no BENCH_*.json baseline checked in"; exit 1; }
+	@echo "bench-compare: baseline $(BASELINE)"
+	$(GO) run ./cmd/lightvm-bench -exp all -scale 0.05 -seed 1 -parallel 1 -json -out bench-fresh.json
+	$(GO) run ./cmd/benchdiff -max-wall 75 -max-alloc 10 $(BASELINE) bench-fresh.json
+	@rm -f bench-fresh.json
+
 clean:
-	rm -f BENCH_*.json *.cover coverage-xenstore.html fsck-smoke.json
+	rm -f *.cover coverage-xenstore.html fsck-smoke.json bench-fresh.json
 	rm -rf profiles

@@ -1,0 +1,173 @@
+// Command benchdiff compares two BENCH_*.json reports produced by
+// lightvm-bench -json and fails (exit 1) when any figure regressed
+// beyond the allowed thresholds. It is the regression gate between a
+// checked-in baseline report and a fresh run:
+//
+//	benchdiff -max-wall 60 -max-alloc 10 BENCH_old.json BENCH_new.json
+//
+// Wall-clock numbers jitter with machine load (CI runners especially),
+// so the default wall threshold is deliberately generous, and figures
+// whose wall time is below -min-wall-ms on both sides are exempt from
+// the wall gate entirely — a 1ms figure can double from scheduler
+// noise alone. Allocation counts are deterministic on sequential runs
+// and get a tight threshold with no floor.
+// Exit codes: 0 comparison passed, 1 regression found, 2 usage or
+// input error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+type figure struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	Allocs uint64  `json:"allocs"`
+}
+
+type report struct {
+	Date     string   `json:"date"`
+	Scale    float64  `json:"scale"`
+	Seed     uint64   `json:"seed"`
+	Parallel int      `json:"parallel"`
+	Figures  []figure `json:"figures"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Figures) == 0 {
+		return nil, fmt.Errorf("%s: no figures", path)
+	}
+	return &r, nil
+}
+
+// pct is the relative change from old to new in percent; +10 means new
+// is 10% worse (bigger).
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+type diffLine struct {
+	id        string
+	wallPct   float64
+	allocPct  float64
+	wallBad   bool
+	allocBad  bool
+	onlyInOld bool
+	onlyInNew bool
+}
+
+// diff compares the two reports figure by figure against the given
+// regression thresholds (percent). Figures under minWallMS on both
+// sides never trip the wall gate: relative noise dominates absolute
+// signal down there.
+func diff(oldR, newR *report, maxWallPct, maxAllocPct, minWallMS float64) (lines []diffLine, regressed bool) {
+	newByID := make(map[string]figure, len(newR.Figures))
+	for _, f := range newR.Figures {
+		newByID[f.ID] = f
+	}
+	seen := make(map[string]bool, len(oldR.Figures))
+	for _, of := range oldR.Figures {
+		seen[of.ID] = true
+		nf, ok := newByID[of.ID]
+		if !ok {
+			lines = append(lines, diffLine{id: of.ID, onlyInOld: true})
+			continue
+		}
+		l := diffLine{
+			id:       of.ID,
+			wallPct:  pct(of.WallMS, nf.WallMS),
+			allocPct: pct(float64(of.Allocs), float64(nf.Allocs)),
+		}
+		l.wallBad = l.wallPct > maxWallPct && (of.WallMS >= minWallMS || nf.WallMS >= minWallMS)
+		l.allocBad = l.allocPct > maxAllocPct
+		if l.wallBad || l.allocBad {
+			regressed = true
+		}
+		lines = append(lines, l)
+	}
+	for _, nf := range newR.Figures {
+		if !seen[nf.ID] {
+			lines = append(lines, diffLine{id: nf.ID, onlyInNew: true})
+		}
+	}
+	return lines, regressed
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxWall := fs.Float64("max-wall", 60, "max allowed wall_ms regression per figure, percent")
+	maxAlloc := fs.Float64("max-alloc", 10, "max allowed allocs regression per figure, percent")
+	minWall := fs.Float64("min-wall-ms", 5, "figures faster than this on both sides skip the wall gate")
+	force := fs.Bool("force", false, "compare even when scale/seed/parallel differ")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		return 2
+	}
+	oldR, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newR, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	if oldR.Scale != newR.Scale || oldR.Seed != newR.Seed || oldR.Parallel != newR.Parallel {
+		msg := fmt.Sprintf("benchdiff: reports not comparable: old scale=%g seed=%d parallel=%d, new scale=%g seed=%d parallel=%d",
+			oldR.Scale, oldR.Seed, oldR.Parallel, newR.Scale, newR.Seed, newR.Parallel)
+		if !*force {
+			fmt.Fprintln(stderr, msg, "(use -force to override)")
+			return 2
+		}
+		fmt.Fprintln(stderr, msg, "(continuing under -force)")
+	}
+
+	lines, regressed := diff(oldR, newR, *maxWall, *maxAlloc, *minWall)
+	fmt.Fprintf(stdout, "%-12s %12s %12s\n", "figure", "wall", "allocs")
+	for _, l := range lines {
+		switch {
+		case l.onlyInOld:
+			fmt.Fprintf(stdout, "%-12s %25s\n", l.id, "missing from new report")
+		case l.onlyInNew:
+			fmt.Fprintf(stdout, "%-12s %25s\n", l.id, "new figure (no baseline)")
+		default:
+			mark := func(bad bool) string {
+				if bad {
+					return " REGRESSED"
+				}
+				return ""
+			}
+			fmt.Fprintf(stdout, "%-12s %+11.1f%%%s %+11.1f%%%s\n",
+				l.id, l.wallPct, mark(l.wallBad), l.allocPct, mark(l.allocBad))
+		}
+	}
+	if regressed {
+		fmt.Fprintf(stderr, "benchdiff: regression beyond -max-wall %g%% / -max-alloc %g%%\n", *maxWall, *maxAlloc)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

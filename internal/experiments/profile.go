@@ -83,6 +83,10 @@ func (p ProfileOptions) dir() string {
 // subsystems per dimension.
 const topSubsystems = 5
 
+// topAllocSites is the function-level depth of the heap report: enough
+// entries to see past mallocgc wrappers to the actual hot sites.
+const topAllocSites = 10
+
 // ProfileSummary is the per-figure attribution report: where the
 // captured profiles landed and which subsystems dominate them.
 type ProfileSummary struct {
@@ -95,6 +99,11 @@ type ProfileSummary struct {
 	// alloc_space delta. Top-5 each, deterministic order.
 	CPU  []profiling.Cost `json:"cpu,omitempty"`
 	Heap []profiling.Cost `json:"heap,omitempty"`
+	// HeapTopFuncs drills the heap delta down to the top flat
+	// allocation sites (function-level), each tagged with the subsystem
+	// it bills to — so "who allocates" is answerable from the JSON
+	// report without opening the .pb.gz in pprof.
+	HeapTopFuncs []profiling.FuncCost `json:"heap_top_funcs,omitempty"`
 	// CPUTotalNanos is the figure's own (labeled) sampled CPU time;
 	// CPUForeignNanos is what else landed in the raw profile —
 	// concurrent unprofiled figures, unlabeled runtime workers.
@@ -130,6 +139,20 @@ func (ps *ProfileSummary) String() string {
 	}
 	line("cpu", ps.CPU, ps.CPUFile)
 	line("heap", ps.Heap, ps.HeapFile)
+	if len(ps.HeapTopFuncs) > 0 {
+		b.WriteString("top alloc sites:")
+		n := len(ps.HeapTopFuncs)
+		if n > 3 {
+			n = 3
+		}
+		for i, fc := range ps.HeapTopFuncs[:n] {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, " %.1f%% %s", fc.Percent, fc.Function)
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
 }
 
@@ -243,6 +266,7 @@ func captureProfiles(id string, o Options) (Result, error) {
 			sum.HeapDeltaBytes += v
 		}
 		sum.Heap = profiling.TopSubsystems(profiling.SubsystemTotals(delta), topSubsystems)
+		sum.HeapTopFuncs = profiling.TopFunctions(delta, topAllocSites)
 	}
 
 	res.Profile = sum

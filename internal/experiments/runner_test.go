@@ -63,10 +63,16 @@ func TestRunManyRecordsWall(t *testing.T) {
 // sampler's CPU-weighted attribution has no cross-figure
 // allocation-density skew to absorb; per-figure estimates must land
 // within 10% of the exact sequential count even when the host
-// time-slices all four figures over a single core.
+// time-slices all four figures over a single core. The scale keeps
+// each figure around 300k+ allocated objects: attribution noise from
+// intervals spanning a scheduler switch is roughly constant in
+// absolute objects, so the tolerance is only meaningful against
+// enough mass (the xenstore node pool, snapshot-codec and resolve
+// -cache work cut per-op allocations several fold, which is what
+// pushed the scale up from 0.25 and then again from 0.8).
 func TestSampledAllocsMatchSequential(t *testing.T) {
 	ids := []string{"fig05", "fig05", "fig05", "fig05"}
-	seq := Options{Scale: 0.25, Seed: 5, Samples: 6, Parallel: 1}
+	seq := Options{Scale: 1.6, Seed: 5, Samples: 6, Parallel: 1}
 	par := seq
 	par.Parallel = 4
 

@@ -9,16 +9,20 @@
 //     sends the guest's configuration so that the daemon pre-creates
 //     the domain and creates the devices" (§5.1).
 //
-// Checkpoints carry a real serialized descriptor (encoding/gob); guest
-// page contents are charged by size rather than copied.
+// Checkpoints carry a real serialized descriptor (a hand-rolled
+// varint format, like the store snapshot codec — the save/restore hot
+// path of Fig. 12 cannot afford gob's per-stream type compilation);
+// guest page contents are charged by size rather than copied.
 package migrate
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"path"
+	"strconv"
 	"time"
 
 	"lightvm/internal/costs"
@@ -62,7 +66,7 @@ type Checkpoint struct {
 	StoreState []byte
 }
 
-// descriptor is the gob-encoded wire format.
+// descriptor is the decoded wire format.
 type descriptor struct {
 	Name      string
 	ImageName string
@@ -72,30 +76,123 @@ type descriptor struct {
 	MACs      []string
 }
 
-// encode builds the wire blob for a VM.
+// descMagic versions the descriptor wire format. The encoding is a
+// flat sequence of uvarints and length-prefixed strings: name, image
+// name, kind, memory size, then a device count followed by one
+// (kind, MAC) pair per device. Every varint is minimal, so the format
+// is canonical and a round trip is byte-stable.
+const descMagic = "xdesc1\n"
+
+// appendStr writes a length-prefixed string.
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// encode builds the wire blob for a VM. The error return is kept for
+// call-site symmetry with decode; the encoder itself cannot fail.
 func encode(vm *toolstack.VM) ([]byte, error) {
-	d := descriptor{
-		Name:      vm.Name,
-		ImageName: vm.Image.Name,
-		Kind:      vm.Image.Kind,
-		MemBytes:  vm.Image.MemBytes,
+	img := vm.Image
+	size := len(descMagic) + len(vm.Name) + len(img.Name) + 32
+	for _, dev := range img.Devices {
+		size += len(dev.MAC) + 4
 	}
-	for _, dev := range vm.Image.Devices {
-		d.Devices = append(d.Devices, dev.Kind)
-		d.MACs = append(d.MACs, dev.MAC)
+	buf := make([]byte, 0, size)
+	buf = append(buf, descMagic...)
+	buf = appendStr(buf, vm.Name)
+	buf = appendStr(buf, img.Name)
+	buf = binary.AppendUvarint(buf, uint64(img.Kind))
+	buf = binary.AppendUvarint(buf, img.MemBytes)
+	buf = binary.AppendUvarint(buf, uint64(len(img.Devices)))
+	for _, dev := range img.Devices {
+		buf = binary.AppendUvarint(buf, uint64(dev.Kind))
+		buf = appendStr(buf, dev.MAC)
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
-		return nil, fmt.Errorf("migrate: encode %q: %w", vm.Name, err)
+	return buf, nil
+}
+
+// descReader is a bounds-checked cursor over a descriptor blob.
+type descReader struct {
+	data []byte
+	off  int
+}
+
+// uvarint reads a minimally-encoded varint.
+func (r *descReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at %d", ErrBadCheckpoint, r.off)
 	}
-	return buf.Bytes(), nil
+	if n > 1 && r.data[r.off+n-1] == 0 {
+		return 0, fmt.Errorf("%w: non-minimal varint at %d", ErrBadCheckpoint, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// str reads a length-prefixed string.
+func (r *descReader) str() (string, error) {
+	l, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if l > uint64(len(r.data)-r.off) {
+		return "", fmt.Errorf("%w: string length %d overruns input", ErrBadCheckpoint, l)
+	}
+	s := string(r.data[r.off : r.off+int(l)])
+	r.off += int(l)
+	return s, nil
 }
 
 // decode parses a wire blob.
 func decode(blob []byte) (descriptor, error) {
 	var d descriptor
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&d); err != nil {
-		return d, fmt.Errorf("%w: decode: %v", ErrBadCheckpoint, err)
+	if len(blob) < len(descMagic) || string(blob[:len(descMagic)]) != descMagic {
+		return d, fmt.Errorf("%w: decode: bad magic", ErrBadCheckpoint)
+	}
+	r := &descReader{data: blob, off: len(descMagic)}
+	var err error
+	if d.Name, err = r.str(); err != nil {
+		return d, err
+	}
+	if d.ImageName, err = r.str(); err != nil {
+		return d, err
+	}
+	kind, err := r.uvarint()
+	if err != nil {
+		return d, err
+	}
+	d.Kind = guest.Kind(kind)
+	if d.MemBytes, err = r.uvarint(); err != nil {
+		return d, err
+	}
+	ndev, err := r.uvarint()
+	if err != nil {
+		return d, err
+	}
+	// Each device costs at least two bytes on the wire, so the count
+	// is bounded by the remaining input (rejects absurd allocations).
+	if ndev > uint64(len(blob)-r.off) {
+		return d, fmt.Errorf("%w: device count %d overruns input", ErrBadCheckpoint, ndev)
+	}
+	if ndev > 0 {
+		d.Devices = make([]hv.DevKind, 0, ndev)
+		d.MACs = make([]string, 0, ndev)
+	}
+	for i := uint64(0); i < ndev; i++ {
+		k, err := r.uvarint()
+		if err != nil {
+			return d, err
+		}
+		mac, err := r.str()
+		if err != nil {
+			return d, err
+		}
+		d.Devices = append(d.Devices, hv.DevKind(k))
+		d.MACs = append(d.MACs, mac)
+	}
+	if r.off != len(blob) {
+		return d, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(blob)-r.off)
 	}
 	return d, nil
 }
@@ -105,7 +202,7 @@ func suspend(e *toolstack.Env, vm *toolstack.VM) error {
 	if vm.Mode.UsesStore() {
 		// xl: write control/shutdown=suspend, wait for the guest to
 		// acknowledge via the store.
-		domPath := fmt.Sprintf("/local/domain/%d", vm.Dom.ID)
+		domPath := xenbus.DomainPath(vm.Dom.ID)
 		e.Store.Write(domPath+"/control/shutdown", "suspend")
 		e.Clock.Sleep(costs.SuspendHandshakeXS)
 		_, _ = e.Store.Read(domPath + "/control/shutdown")
@@ -151,14 +248,16 @@ func Save(e *toolstack.Env, vm *toolstack.VM) (*Checkpoint, time.Duration, error
 			// snapshot: one flat charge regardless of how many guests
 			// populate the store (the old alternative — reading the
 			// subtree entry by entry — would cost a protocol round trip
-			// per node).
+			// per node). SerializeSubtree keeps no reference to the
+			// tree, so the capture doesn't suppress node-pool recycling
+			// the way a long-lived Snapshot would.
 			e.Clock.Sleep(costs.CostStoreSnapshot)
-			sub, err := e.Store.Snapshot().Subtree(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
+			state, err := e.Store.SerializeSubtree(xenbus.DomainPath(vm.Dom.ID))
 			if err != nil {
 				retErr = fmt.Errorf("migrate: save %q: %w", vm.Name, err)
 				return
 			}
-			storeState = sub.Serialize()
+			storeState = state
 		}
 		dumpCost(e, vm.Image.MemBytes)
 		cp = &Checkpoint{
@@ -180,7 +279,7 @@ func Save(e *toolstack.Env, vm *toolstack.VM) (*Checkpoint, time.Duration, error
 			for i, dev := range vm.Image.Devices {
 				xenbus.RemoveDeviceEntries(e.Store, vm.Dom.ID, dev.Kind, i)
 			}
-			_ = e.Store.Rm(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
+			_ = e.Store.Rm(xenbus.DomainPath(vm.Dom.ID))
 		} else {
 			e.Noxs.DestroyAll(vm.Dom.ID)
 		}
@@ -215,7 +314,7 @@ func Restore(e *toolstack.Env, cp *Checkpoint) (*toolstack.VM, time.Duration, er
 			return nil, 0, fmt.Errorf("%w: %q store state: %v", ErrBadCheckpoint, cp.Name, err)
 		}
 		for i, k := range desc.Devices {
-			if !storeSnap.Exists(fmt.Sprintf("/device/%s/%d", k, i)) {
+			if !storeSnap.Exists("/device/" + xenbus.KindName(k) + "/" + strconv.Itoa(i)) {
 				return nil, 0, fmt.Errorf("%w: %q device %s/%d missing from captured registry",
 					ErrBadCheckpoint, cp.Name, k, i)
 			}
@@ -252,7 +351,7 @@ func Restore(e *toolstack.Env, cp *Checkpoint) (*toolstack.VM, time.Duration, er
 			// node. Device entries are re-negotiated below (fresh event
 			// channels and grants), overwriting the captured handshake
 			// state in place.
-			retErr = e.Store.GraftSnapshot(storeSnap, "/", fmt.Sprintf("/local/domain/%d", dom.ID))
+			retErr = e.Store.GraftSnapshot(storeSnap, "/", xenbus.DomainPath(dom.ID))
 			if retErr != nil {
 				return
 			}
@@ -412,7 +511,7 @@ func Migrate(src, dst *toolstack.Env, vm *toolstack.VM) (*toolstack.VM, time.Dur
 			for i, dev := range vm.Image.Devices {
 				xenbus.RemoveDeviceEntries(src.Store, vm.Dom.ID, dev.Kind, i)
 			}
-			_ = src.Store.Rm(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
+			_ = src.Store.Rm(xenbus.DomainPath(vm.Dom.ID))
 		} else {
 			src.Noxs.DestroyAll(vm.Dom.ID)
 		}
@@ -451,7 +550,7 @@ func rollback(src, dst *toolstack.Env, vm, newVM *toolstack.VM) {
 			for i, dev := range newVM.Image.Devices {
 				_ = dst.Store.Rm(path.Dir(xenbus.BackendPath(newVM.Dom.ID, dev.Kind, i)))
 			}
-			_ = dst.Store.Rm(fmt.Sprintf("/local/domain/%d", newVM.Dom.ID))
+			_ = dst.Store.Rm(xenbus.DomainPath(newVM.Dom.ID))
 		} else {
 			dst.Noxs.DestroyAll(newVM.Dom.ID)
 		}

@@ -50,6 +50,11 @@ type Allocator struct {
 	allocated  map[PFN]uint // base → order, for Free validation
 	owners     map[PFN]Owner
 	usage      map[Owner]uint64 // pages held per owner
+	// byOwner indexes each owner's extent bases so FreeOwner (domain
+	// teardown) releases them without scanning every live allocation
+	// on the host. Extent counts per owner are small, so the linear
+	// removal in Free stays cheap.
+	byOwner map[Owner][]PFN
 }
 
 // New creates an allocator managing totalBytes of host memory, rounded
@@ -60,6 +65,7 @@ func New(totalBytes uint64) *Allocator {
 		allocated:  make(map[PFN]uint),
 		owners:     make(map[PFN]Owner),
 		usage:      make(map[Owner]uint64),
+		byOwner:    make(map[Owner][]PFN),
 	}
 	for i := range a.free {
 		a.free[i] = make(map[PFN]struct{})
@@ -152,6 +158,7 @@ func (a *Allocator) AllocPages(pages uint64, o Owner) (Extent, error) {
 	ext := Extent{Base: base, Order: order}
 	a.allocated[base] = order
 	a.owners[base] = o
+	a.byOwner[o] = append(a.byOwner[o], base)
 	a.usage[o] += ext.Pages()
 	a.freePages -= ext.Pages()
 	return ext, nil
@@ -196,6 +203,18 @@ func (a *Allocator) Free(e Extent) error {
 	o := a.owners[e.Base]
 	delete(a.allocated, e.Base)
 	delete(a.owners, e.Base)
+	if bases, ok := a.byOwner[o]; ok {
+		for i, b := range bases {
+			if b == e.Base {
+				bases[i] = bases[len(bases)-1]
+				a.byOwner[o] = bases[:len(bases)-1]
+				break
+			}
+		}
+		if len(a.byOwner[o]) == 0 {
+			delete(a.byOwner, o)
+		}
+	}
 	if a.usage[o] < e.Pages() {
 		return fmt.Errorf("mm: owner %d accounting underflow", o)
 	}
@@ -224,13 +243,10 @@ func (a *Allocator) Free(e Extent) error {
 // FreeOwner releases every extent held by owner and reports how many
 // bytes were returned.
 func (a *Allocator) FreeOwner(o Owner) uint64 {
-	var bases []PFN
-	for base, owner := range a.owners {
-		if owner == o {
-			bases = append(bases, base)
-		}
-	}
-	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	// Detach the owner's index first: Free's per-extent removal then
+	// finds nothing to maintain, keeping this loop linear.
+	bases := a.byOwner[o]
+	delete(a.byOwner, o)
 	var freed uint64
 	for _, base := range bases {
 		e := Extent{Base: base, Order: a.allocated[base]}

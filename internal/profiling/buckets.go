@@ -110,6 +110,52 @@ func TopSubsystems(totals map[string]int64, n int) []Cost {
 	return out
 }
 
+// FuncCost is one function's share of a profile dimension, with its
+// subsystem bucket attached so a reader can tie a hot allocation site
+// back to the layer it bills to (the xenstore intern and pool tables,
+// for instance, land in "internal/xenstore" like the rest of the
+// store).
+type FuncCost struct {
+	// Function is the fully-qualified symbol as pprof reports it.
+	Function string `json:"function"`
+	// Subsystem is Subsystem(Function).
+	Subsystem string `json:"subsystem"`
+	// Value is the function's flat total in the profile's unit.
+	Value int64 `json:"value"`
+	// Percent is Value's share of the profile total (0–100).
+	Percent float64 `json:"percent"`
+}
+
+// TopFunctions ranks per-function flat totals and returns the top n
+// (value descending, name ascending on ties — deterministic for JSON
+// diffs). Percent is each function's share of the grand total across
+// ALL functions, not just the returned ones; zero- and negative-valued
+// entries are dropped.
+func TopFunctions(flat map[string]int64, n int) []FuncCost {
+	var grand int64
+	out := make([]FuncCost, 0, len(flat))
+	for fn, v := range flat {
+		if v <= 0 {
+			continue
+		}
+		grand += v
+		out = append(out, FuncCost{Function: fn, Subsystem: Subsystem(fn), Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Function < out[j].Function
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	for i := range out {
+		out[i].Percent = 100 * float64(out[i].Value) / float64(grand)
+	}
+	return out
+}
+
 // DeltaFlat subtracts per-function baselines from per-function totals,
 // clamping at zero — how a figure's heap attribution is isolated from
 // allocations made before its run (alloc_space is cumulative for the

@@ -91,3 +91,36 @@ func TestDeltaFlat(t *testing.T) {
 		t.Fatalf("DeltaFlat = %v, want %v", got, want)
 	}
 }
+
+func TestTopFunctions(t *testing.T) {
+	flat := map[string]int64{
+		"lightvm/internal/xenstore.(*pool).getNode":   120,
+		"lightvm/internal/xenstore.(*snapReader).str": 60,
+		"lightvm/internal/xenstore.init.func1":        10, // intern table build
+		"runtime.mallocgc":                            10,
+		"dead":                                        0,
+	}
+	top := TopFunctions(flat, 3)
+	if len(top) != 3 {
+		t.Fatalf("top-3 has %d entries: %+v", len(top), top)
+	}
+	if top[0].Function != "lightvm/internal/xenstore.(*pool).getNode" || top[0].Value != 120 {
+		t.Fatalf("top[0] = %+v", top[0])
+	}
+	// Percent is the share of the grand total (200), not of the top-3.
+	if top[0].Percent != 60 {
+		t.Fatalf("top[0].Percent = %v, want 60", top[0].Percent)
+	}
+	// The store's pool and intern-table symbols bill to the xenstore
+	// bucket like the rest of the package.
+	for _, fc := range top[:2] {
+		if fc.Subsystem != "internal/xenstore" {
+			t.Fatalf("%s billed to %q, want internal/xenstore", fc.Function, fc.Subsystem)
+		}
+	}
+	// 10/10 tie between the intern-table init and mallocgc breaks on
+	// the function name.
+	if top[2].Function != "lightvm/internal/xenstore.init.func1" || top[2].Subsystem != "internal/xenstore" {
+		t.Fatalf("top[2] = %+v", top[2])
+	}
+}

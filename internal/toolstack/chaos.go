@@ -2,7 +2,6 @@ package toolstack
 
 import (
 	"errors"
-	"fmt"
 	"strconv"
 	"time"
 
@@ -133,7 +132,7 @@ func (c *Chaos) Create(name string, img guest.Image) (*VM, error) {
 		if us {
 			// chaos keeps only the handful of entries guests need.
 			mark(&bd.XenStore, func() {
-				domPath := fmt.Sprintf("/local/domain/%d", vm.Dom.ID)
+				domPath := xenbus.DomainPath(vm.Dom.ID)
 				e.Store.Write(domPath+"/name", name)
 				e.Store.Write(domPath+"/memory/target", strconv.FormatUint(img.MemBytes/1024, 10))
 				e.Store.Write(domPath+"/console/port", "2")
@@ -237,7 +236,7 @@ func (c *Chaos) Destroy(vm *VM) error {
 			if crashErr = e.crashPoint("chaos.destroy.devices"); crashErr != nil {
 				return
 			}
-			_ = e.Store.Rm(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
+			_ = e.Store.Rm(xenbus.DomainPath(vm.Dom.ID))
 		} else {
 			e.Noxs.DestroyAll(vm.Dom.ID)
 			if crashErr = e.crashPoint("chaos.destroy.devices"); crashErr != nil {

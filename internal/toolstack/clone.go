@@ -76,12 +76,12 @@ func (e *Env) CloneVM(parent *VM, name string) (*VM, error) {
 			// re-negotiated below with fresh rings, overwriting the
 			// captured entries in place.
 			e.Clock.Sleep(costs.CostStoreSnapshot)
-			sub, err := e.Store.Snapshot().Subtree(fmt.Sprintf("/local/domain/%d", parent.Dom.ID))
+			sub, err := e.Store.Snapshot().Subtree(xenbus.DomainPath(parent.Dom.ID))
 			if err != nil {
 				retErr = err
 				return
 			}
-			if err := e.Store.GraftSnapshot(sub, "/", fmt.Sprintf("/local/domain/%d", dom.ID)); err != nil {
+			if err := e.Store.GraftSnapshot(sub, "/", xenbus.DomainPath(dom.ID)); err != nil {
 				retErr = err
 				return
 			}

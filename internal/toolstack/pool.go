@@ -317,7 +317,7 @@ func (p *Pool) finalizeDevices(s *Shell, img guest.Image) error {
 		return err
 	}
 	if s.Flavor.Store {
-		domPath := fmt.Sprintf("/local/domain/%d", s.Dom.ID)
+		domPath := xenbus.DomainPath(s.Dom.ID)
 		return e.Store.Txn(8, func(tx *xenstore.Tx) error {
 			for i, dev := range img.Devices {
 				if dev.Kind == hv.DevVif {

@@ -126,7 +126,7 @@ func (e *Env) reapDomain(dom hv.DomID, useStore bool, name string, r *ScrubRepor
 				}
 				_ = e.Store.Rm(dir)
 			}
-			_ = e.Store.Rm(fmt.Sprintf("/local/domain/%d", dom))
+			_ = e.Store.Rm(xenbus.DomainPath(dom))
 			_ = e.Store.Rm(fmt.Sprintf("/vm/names/%d", dom))
 		} else {
 			e.Noxs.DestroyAll(dom)

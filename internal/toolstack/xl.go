@@ -100,7 +100,7 @@ func (x *XL) Create(name string, img guest.Image) (*VM, error) {
 		// 4. XenStore preamble: the domain's registry entries, the
 		// unique-name check, and libxl's many state re-reads.
 		mark(&bd.XenStore, func() {
-			domPath := fmt.Sprintf("/local/domain/%d", dom.ID)
+			domPath := xenbus.DomainPath(dom.ID)
 			retErr = e.Store.Txn(8, func(tx *xenstore.Tx) error {
 				tx.Write(domPath+"/name", name)
 				tx.Write(domPath+"/vm", "/vm/"+name)
@@ -125,8 +125,9 @@ func (x *XL) Create(name string, img guest.Image) (*VM, error) {
 				return
 			}
 			x.dirBuf, _ = e.Store.DirectoryAppend("/local/domain", x.dirBuf)
+			namePath := domPath + "/name"
 			for i := 0; i < xlStateReads; i++ {
-				_, _ = e.Store.Read(domPath + "/name")
+				_, _ = e.Store.Read(namePath)
 			}
 		})
 		if retErr != nil {
@@ -156,7 +157,7 @@ func (x *XL) Create(name string, img guest.Image) (*VM, error) {
 
 		// Finalize: console ring info etc.
 		mark(&bd.XenStore, func() {
-			domPath := fmt.Sprintf("/local/domain/%d", dom.ID)
+			domPath := xenbus.DomainPath(dom.ID)
 			e.Store.Write(domPath+"/console/ring-ref", "1")
 			e.Store.Write(domPath+"/console/port", "2")
 			e.Store.Write(domPath+"/image/entry", strconv.FormatUint(dom.KernelEntry, 16))
@@ -248,9 +249,9 @@ func (x *XL) Destroy(vm *VM) error {
 		if crashErr = e.crashPoint("xl.destroy.devices"); crashErr != nil {
 			return
 		}
-		_ = e.Store.Rm(fmt.Sprintf("/local/domain/%d", vm.Dom.ID))
+		_ = e.Store.Rm(xenbus.DomainPath(vm.Dom.ID))
 		_ = e.Store.Rm("/vm/" + vm.Name)
-		_ = e.Store.Rm(fmt.Sprintf("/vm/names/%d", vm.Dom.ID))
+		_ = e.Store.Rm("/vm/names/" + strconv.Itoa(int(vm.Dom.ID)))
 		e.Clock.Sleep(costs.ToolstackInternalXL / 2)
 	})
 	e.forget(vm)

@@ -56,7 +56,14 @@ func KindName(k hv.DevKind) string { return kindName(k) }
 // backend-directory watch under; the scrubber unhooks dead guests'
 // watches by this token.
 func FrontendWatchToken(dom hv.DomID, kind hv.DevKind, idx int) string {
-	return fmt.Sprintf("fe-%d-%s-%d", dom, kindName(kind), idx)
+	buf := make([]byte, 0, 24)
+	buf = append(buf, "fe-"...)
+	buf = strconv.AppendInt(buf, int64(dom), 10)
+	buf = append(buf, '-')
+	buf = append(buf, kindName(kind)...)
+	buf = append(buf, '-')
+	buf = strconv.AppendInt(buf, int64(idx), 10)
+	return string(buf)
 }
 
 // kindName maps device kinds to their store directory names.
@@ -74,14 +81,46 @@ func kindName(k hv.DevKind) string {
 	return "unknown"
 }
 
+// DomainPath returns a domain's store root, "/local/domain/<id>".
+func DomainPath(dom hv.DomID) string {
+	buf := make([]byte, 0, 24)
+	buf = append(buf, "/local/domain/"...)
+	buf = strconv.AppendInt(buf, int64(dom), 10)
+	return string(buf)
+}
+
 // FrontendPath returns the guest-side store directory for a device.
 func FrontendPath(dom hv.DomID, kind hv.DevKind, idx int) string {
-	return fmt.Sprintf("/local/domain/%d/device/%s/%d", dom, kindName(kind), idx)
+	buf := make([]byte, 0, 48)
+	buf = append(buf, "/local/domain/"...)
+	buf = strconv.AppendInt(buf, int64(dom), 10)
+	buf = append(buf, "/device/"...)
+	buf = append(buf, kindName(kind)...)
+	buf = append(buf, '/')
+	buf = strconv.AppendInt(buf, int64(idx), 10)
+	return string(buf)
 }
 
 // BackendPath returns the Dom0-side store directory for a device.
 func BackendPath(dom hv.DomID, kind hv.DevKind, idx int) string {
-	return fmt.Sprintf("/local/domain/0/backend/%s/%d/%d", kindName(kind), dom, idx)
+	buf := make([]byte, 0, 48)
+	buf = append(buf, "/local/domain/0/backend/"...)
+	buf = append(buf, kindName(kind)...)
+	buf = append(buf, '/')
+	buf = strconv.AppendInt(buf, int64(dom), 10)
+	buf = append(buf, '/')
+	buf = strconv.AppendInt(buf, int64(idx), 10)
+	return string(buf)
+}
+
+// vifName is the hotplug interface name "vif<dom>.<idx>".
+func vifName(dom, idx int) string {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, "vif"...)
+	buf = strconv.AppendInt(buf, int64(dom), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendInt(buf, int64(idx), 10)
+	return string(buf)
 }
 
 // DeviceReq describes a device the toolstack wants to create.
@@ -178,8 +217,7 @@ func (b *Backend) setup(dir string) {
 		return
 	}
 	if b.Kind == hv.DevVif && b.Hotplug != nil {
-		vif := fmt.Sprintf("vif%d.%d", feDom, 0)
-		_ = b.Hotplug.Setup(vif)
+		_ = b.Hotplug.Setup(vifName(feDom, 0))
 	}
 	b.DevicesSetUp++
 }
@@ -194,7 +232,7 @@ func (b *Backend) Teardown(dom hv.DomID, idx int) {
 		}
 	}
 	if b.Kind == hv.DevVif && b.Hotplug != nil {
-		_ = b.Hotplug.Teardown(fmt.Sprintf("vif%d.%d", dom, idx))
+		_ = b.Hotplug.Teardown(vifName(int(dom), idx))
 	}
 	_ = b.Store.Rm(dir)
 }

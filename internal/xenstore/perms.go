@@ -3,6 +3,7 @@ package xenstore
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -48,18 +49,21 @@ var ErrPermission = errors.New("xenstore: permission denied")
 // generation (ACL changes do not conflict transactions), but in the
 // immutable tree it still publishes a fresh spine.
 func (s *Store) SetPerm(path string, owner int, perm Perm) error {
-	it := segments(path)
+	s.enter()
+	defer s.exit()
+	it := hashSegments(path)
 	oldOwner := 0
-	newRoot, touched, found := updateAt(s.loaded().root, &it, func(n *node) *node {
+	newRoot, touched, found := updateAt(s.pl, s.loaded().root, &it, func(n *node) *node {
 		oldOwner = n.owner
-		c := n.clone()
+		c := n.clone(s.pl)
 		c.owner = owner
 		c.perm = perm
+		s.pl.retireNode(n)
 		return c
 	})
 	s.chargeOp(touched)
 	if !found {
-		return fmt.Errorf("%w: %s", ErrNoEnt, path)
+		return &noEntError{path}
 	}
 	s.publish(newRoot)
 	// Ownership moved: the node's quota charge follows it (recorded,
@@ -86,15 +90,44 @@ func (s *Store) SetPerm(path string, owner int, perm Perm) error {
 // PermOf reports a node's owner and access class (as of the end of the
 // charged round trip, like Read).
 func (s *Store) PermOf(path string) (owner int, perm Perm, err error) {
-	n, touched, err := s.lookup(path)
+	s.enter()
+	defer s.exit()
+	n, touched := s.resolve(path)
+	pubs := s.pubs
 	s.chargeOp(touched)
-	if err != nil {
-		return 0, PermNone, err
+	if n == nil {
+		return 0, PermNone, &noEntError{path}
 	}
-	if cur, _ := s.resolve(path); cur != nil {
-		n = cur
+	if s.pubs != pubs {
+		if cur, _ := s.resolve(path); cur != nil {
+			n = cur
+		}
 	}
 	return n.owner, n.perm, nil
+}
+
+// hasGuestPrefix reports whether p (normalized) starts with the bytes
+// of "/local/domain/<domid>" — exactly strings.HasPrefix against the
+// formatted prefix, without the Sprintf. (The plain byte-prefix
+// semantics are deliberate: they are what the historical code checked,
+// and guest path authority tests pin them.)
+func hasGuestPrefix(domid int, p string) bool {
+	const pre = "/local/domain/"
+	if !strings.HasPrefix(p, pre) {
+		return false
+	}
+	rest := p[len(pre):]
+	var buf [20]byte
+	d := strconv.AppendInt(buf[:0], int64(domid), 10)
+	if len(rest) < len(d) {
+		return false
+	}
+	for i := range d {
+		if rest[i] != d[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // guestDomainPrefix is the subtree a guest owns implicitly.
@@ -107,7 +140,7 @@ func (s *Store) mayRead(domid int, path string, n *node) bool {
 	if domid == 0 || n.owner == domid {
 		return true
 	}
-	if strings.HasPrefix(normalize(path), guestDomainPrefix(domid)) {
+	if hasGuestPrefix(domid, normalize(path)) {
 		return true
 	}
 	return n.perm == PermRead || n.perm == PermBoth
@@ -118,7 +151,7 @@ func (s *Store) mayWrite(domid int, path string, n *node) bool {
 	if domid == 0 || (n != nil && n.owner == domid) {
 		return true
 	}
-	if strings.HasPrefix(normalize(path), guestDomainPrefix(domid)) {
+	if hasGuestPrefix(domid, normalize(path)) {
 		return true
 	}
 	return n != nil && (n.perm == PermWrite || n.perm == PermBoth)
@@ -126,14 +159,19 @@ func (s *Store) mayWrite(domid int, path string, n *node) bool {
 
 // GuestRead is a read issued by a guest domain, subject to ACLs.
 func (s *Store) GuestRead(domid int, path string) (string, error) {
-	n, touched, err := s.lookup(path)
+	s.enter()
+	defer s.exit()
+	n, touched := s.resolve(path)
+	pubs := s.pubs
 	s.chargeOp(touched)
-	if err != nil {
-		return "", err
+	if n == nil {
+		return "", &noEntError{path}
 	}
 	// End-of-round-trip semantics, like Read.
-	if cur, _ := s.resolve(path); cur != nil {
-		n = cur
+	if s.pubs != pubs {
+		if cur, _ := s.resolve(path); cur != nil {
+			n = cur
+		}
 	}
 	if !s.mayRead(domid, path, n) {
 		return "", fmt.Errorf("%w: domain %d reading %s", ErrPermission, domid, path)

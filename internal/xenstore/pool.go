@@ -1,0 +1,239 @@
+package xenstore
+
+import "sync/atomic"
+
+// Node and trie-level pooling for the mutation path.
+//
+// Every Write/Rm/SetPerm copies the spine of the immutable tree — that
+// is the price of O(1) snapshots — and before this pool existed, every
+// copy was a fresh heap allocation and every replaced spine became GC
+// work. The profile attributed ~60% of fig12a's allocations to exactly
+// those spine copies (node.clone, amtNode.withSlot/withInsert). The
+// pool closes the loop: the mutation path retires the objects it
+// replaces and draws replacements from a free list.
+//
+// Recycling a node from an immutable, structurally-shared tree is only
+// sound if nothing can still reach the retired object. Three guards
+// make it COW-safe:
+//
+//  1. Provenance (ptag): a pool only recycles objects it allocated.
+//     Nodes that arrived by structural sharing from elsewhere —
+//     deserialized snapshots, grafts from another store — carry a
+//     foreign (or zero) tag and are never touched.
+//
+//  2. Snapshot epoch (birth): Store.Snapshot atomically bumps the
+//     store's snapshot epoch *before* loading the root (see
+//     snapshot.go), and a retired object is recycled only if the epoch
+//     still equals the one recorded at its allocation. Any object
+//     whose lifetime overlapped a snapshot — including a snapshot
+//     taken concurrently from another goroutine, which the
+//     sequentially-consistent atomics order correctly — is left for
+//     the GC, because that snapshot (or a graft made from it) may
+//     reach it forever. This is also what keeps self-grafts sound: a
+//     subtree can only become doubly-referenced via a snapshot, and
+//     taking that snapshot permanently excludes its nodes from reuse.
+//
+//  3. Operation nesting (depth): charging the virtual clock can run
+//     scheduled events that re-enter the store (a watch callback
+//     writing mid-charge), while the outer operation still holds
+//     pointers into the pre-mutation tree (Store.Read keeps its
+//     resolved node across the charge). Retired objects therefore
+//     park in a pending list and are only recycled when the outermost
+//     operation exits.
+//
+// The free lists are bounded (poolMaxFree) so a burst — one huge Rm —
+// cannot pin an arbitrary amount of memory.
+
+const poolMaxFree = 8192
+
+// pool is a Store's allocation recycler. It is mutator-side state:
+// only the goroutine that owns the store's timeline touches it.
+type pool struct {
+	tag   uint32         // unique per store; 0 is reserved for "unpooled"
+	epoch *atomic.Uint64 // the owning store's snapshot epoch
+
+	freeN []*node
+	freeA []*amtNode
+	freeT []*treeState
+
+	// Objects retired by in-flight operations, recycled at depth 0.
+	pendN []*node
+	pendA []*amtNode
+	pendT []*treeState
+
+	depth int
+}
+
+// poolTags hands out store-unique pool tags (stores can live on
+// different goroutines, so the counter is atomic).
+var poolTags atomic.Uint32
+
+func newPool(epoch *atomic.Uint64) *pool {
+	return &pool{tag: poolTags.Add(1), epoch: epoch}
+}
+
+// getNode returns a zeroed node stamped with the pool's provenance.
+// A nil pool (deserialization, tests) falls back to plain allocation.
+func (p *pool) getNode() *node {
+	if p == nil {
+		return &node{}
+	}
+	if n := len(p.freeN); n > 0 {
+		nd := p.freeN[n-1]
+		p.freeN[n-1] = nil
+		p.freeN = p.freeN[:n-1]
+		nd.birth = p.epoch.Load()
+		return nd
+	}
+	return &node{ptag: p.tag, birth: p.epoch.Load()}
+}
+
+// amtSlotCap rounds a slot-array capacity request up to the next
+// bracket of 8 (capped by the trie width). Recycled levels keep their
+// backing arrays only while the capacity fits the next request, so
+// exact-size arrays thrash between adjacent sizes; bracketed arrays
+// are reusable across the whole bracket for at most 7 spare slots.
+func amtSlotCap(nslots int) int {
+	if nslots >= amtWidth {
+		return nslots
+	}
+	return (nslots + 7) &^ 7
+}
+
+// getAMT returns a trie level with exactly nslots slots, reusing a
+// retired level's backing array when it is big enough.
+func (p *pool) getAMT(nslots int) *amtNode {
+	if p == nil {
+		return &amtNode{slots: make([]any, nslots)}
+	}
+	if n := len(p.freeA); n > 0 {
+		a := p.freeA[n-1]
+		p.freeA[n-1] = nil
+		p.freeA = p.freeA[:n-1]
+		if cap(a.slots) < nslots {
+			a.slots = make([]any, nslots, amtSlotCap(nslots))
+		} else {
+			a.slots = a.slots[:nslots]
+		}
+		a.birth = p.epoch.Load()
+		return a
+	}
+	return &amtNode{ptag: p.tag, birth: p.epoch.Load(), slots: make([]any, nslots, amtSlotCap(nslots))}
+}
+
+// getTS returns a treeState for the next publish. treeStates never
+// cross stores (each publish makes its own), so no provenance tag is
+// needed — only the snapshot-epoch birth stamp.
+func (p *pool) getTS() *treeState {
+	if n := len(p.freeT); n > 0 {
+		ts := p.freeT[n-1]
+		p.freeT[n-1] = nil
+		p.freeT = p.freeT[:n-1]
+		ts.birth = p.epoch.Load()
+		return ts
+	}
+	return &treeState{birth: p.epoch.Load()}
+}
+
+// retireTS parks the version a publish replaced. A concurrent
+// snapshotter that could still be reading it necessarily bumped the
+// epoch before loading it, which excludes it from reuse at flush.
+func (p *pool) retireTS(ts *treeState) {
+	if ts != nil {
+		p.pendT = append(p.pendT, ts)
+	}
+}
+
+// retireNode parks a replaced node for recycling. Foreign or unpooled
+// nodes are ignored.
+func (p *pool) retireNode(n *node) {
+	if p == nil || n == nil || n.ptag != p.tag {
+		return
+	}
+	p.pendN = append(p.pendN, n)
+}
+
+// retireAMT parks a replaced trie level.
+func (p *pool) retireAMT(a *amtNode) {
+	if p == nil || a == nil || a.ptag != p.tag {
+		return
+	}
+	p.pendA = append(p.pendA, a)
+}
+
+// retireTree parks an entire removed subtree: the nodes and the trie
+// levels beneath them. Rm and GraftSnapshot displace whole subtrees;
+// without this walk their nodes would always be GC work even when no
+// snapshot can see them.
+func (p *pool) retireTree(n *node) {
+	if p == nil || n == nil {
+		return
+	}
+	p.retireAMTTree(n.kids)
+	p.retireNode(n)
+}
+
+func (p *pool) retireAMTTree(a *amtNode) {
+	if a == nil {
+		return
+	}
+	for _, s := range a.slots {
+		switch e := s.(type) {
+		case *node:
+			p.retireTree(e)
+		case *amtNode:
+			p.retireAMTTree(e)
+		case *amtCollision:
+			for _, n := range e.entries {
+				p.retireTree(n)
+			}
+		}
+	}
+	p.retireAMT(a)
+}
+
+// enter/exit bracket one public store operation. Nested operations
+// (clock callbacks re-entering the store mid-charge) stack; pending
+// retirements are only recycled when the outermost operation leaves.
+func (p *pool) enter() { p.depth++ }
+
+func (p *pool) exit() {
+	if p.depth--; p.depth == 0 && (len(p.pendN) > 0 || len(p.pendA) > 0 || len(p.pendT) > 0) {
+		p.flush()
+	}
+}
+
+// flush recycles pending retirements whose lifetime did not overlap a
+// snapshot, and abandons the rest to the GC.
+func (p *pool) flush() {
+	e := p.epoch.Load()
+	for i, n := range p.pendN {
+		p.pendN[i] = nil
+		if n.birth == e && len(p.freeN) < poolMaxFree {
+			tag := n.ptag
+			*n = node{ptag: tag}
+			p.freeN = append(p.freeN, n)
+		}
+	}
+	p.pendN = p.pendN[:0]
+	for i, a := range p.pendA {
+		p.pendA[i] = nil
+		if a.birth == e && len(p.freeA) < poolMaxFree {
+			slots := a.slots[:0]
+			for j := range a.slots {
+				a.slots[j] = nil // unpin whatever the dead level referenced
+			}
+			*a = amtNode{ptag: p.tag, slots: slots}
+			p.freeA = append(p.freeA, a)
+		}
+	}
+	p.pendA = p.pendA[:0]
+	for i, ts := range p.pendT {
+		p.pendT[i] = nil
+		if ts.birth == e && len(p.freeT) < poolMaxFree {
+			ts.root = nil
+			p.freeT = append(p.freeT, ts)
+		}
+	}
+	p.pendT = p.pendT[:0]
+}

@@ -147,11 +147,11 @@ func (s *Store) WriteAsGuest(owner int, path, value string) error {
 
 // missingNodes reports how many path components do not yet exist.
 func (s *Store) missingNodes(path string) int {
-	it := segments(path)
+	it := hashSegments(path)
 	n := s.loaded().root
 	missing := 0
 	for {
-		p, ok := it.next()
+		p, h, ok := it.next()
 		if !ok {
 			return missing
 		}
@@ -159,7 +159,7 @@ func (s *Store) missingNodes(path string) int {
 			missing++
 			continue
 		}
-		child := n.child(p)
+		child := n.childByID(h, p)
 		if child == nil {
 			missing = 1
 			continue

@@ -28,7 +28,18 @@ type Snapshot struct {
 }
 
 // Snapshot captures the current store state in O(1).
+//
+// The snapshot epoch MUST be bumped before the root is loaded: the
+// pool (pool.go) recycles retired nodes only when the epoch did not
+// move during their lifetime, and sequentially-consistent ordering of
+// the two atomics guarantees that any root this load can observe is
+// either seen by the mutator's flush as epoch-protected, or was
+// published after the bump (in which case the nodes this snapshot can
+// reach were not retired before it). Loading first would open a window
+// where a concurrently-retired node is recycled while this snapshot
+// still references it.
 func (s *Store) Snapshot() *Snapshot {
+	s.snapEpoch.Add(1)
 	st := s.state.Load()
 	atomic.AddUint64(&s.Count.Snapshots, 1)
 	return &Snapshot{root: st.root, gen: st.gen}
@@ -95,11 +106,34 @@ func (sn *Snapshot) Serialize() []byte {
 	buf := make([]byte, 0, 64+sn.root.size*24)
 	buf = append(buf, snapMagic...)
 	buf = binary.AppendUvarint(buf, sn.gen)
-	return appendNode(buf, sn.root)
+	var scratch []*node
+	return appendNode(buf, sn.root, &scratch)
+}
+
+// SerializeSubtree encodes the subtree at path in the canonical
+// snapshot format, byte-identical to
+// Snapshot().Subtree(path).Serialize(). Unlike that chain it runs
+// entirely on the mutator's side and retains no reference to the tree
+// after returning, so it does not bump the snapshot epoch: a
+// checkpoint save no longer excludes every node whose lifetime spans
+// it from pool recycling. Callers that keep a live Snapshot (clone's
+// same-store graft) must still use Snapshot().
+func (s *Store) SerializeSubtree(path string) ([]byte, error) {
+	st := s.loaded()
+	n, _ := resolveFrom(st.root, path)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoEnt, path)
+	}
+	atomic.AddUint64(&s.Count.Snapshots, 1)
+	buf := make([]byte, 0, 64+n.size*24)
+	buf = append(buf, snapMagic...)
+	buf = binary.AppendUvarint(buf, st.gen)
+	var scratch []*node
+	return appendNode(buf, n, &scratch), nil
 }
 
 // appendNode encodes one node and its children (sorted by name).
-func appendNode(buf []byte, n *node) []byte {
+func appendNode(buf []byte, n *node, scratch *[]*node) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(n.name)))
 	buf = append(buf, n.name...)
 	buf = binary.AppendUvarint(buf, uint64(len(n.value)))
@@ -108,23 +142,63 @@ func appendNode(buf []byte, n *node) []byte {
 	buf = binary.AppendUvarint(buf, uint64(n.owner))
 	buf = binary.AppendUvarint(buf, uint64(n.perm))
 	buf = binary.AppendUvarint(buf, uint64(n.nkids))
-	kids := make([]*node, 0, n.nkids)
-	n.eachChild(func(c *node) bool {
-		kids = append(kids, c)
-		return true
-	})
-	sort.Slice(kids, func(i, j int) bool { return kids[i].name < kids[j].name })
-	for _, c := range kids {
-		buf = appendNode(buf, c)
+	// Children are collected into a shared scratch stack (one backing
+	// array per Serialize instead of one slice per node) and sorted
+	// with a tiny insertion sort: child lists are small, and this
+	// keeps the encoder free of per-node sort machinery allocations.
+	// Deeper recursion only appends past start and truncates back, so
+	// the kids view stays intact even if the stack reallocates.
+	start := len(*scratch)
+	*scratch = appendChildren(n.kids, *scratch)
+	kids := (*scratch)[start:]
+	for i := 1; i < len(kids); i++ {
+		for j := i; j > 0 && kids[j].name < kids[j-1].name; j-- {
+			kids[j], kids[j-1] = kids[j-1], kids[j]
+		}
 	}
+	for i := range kids {
+		buf = appendNode(buf, kids[i], scratch)
+	}
+	*scratch = (*scratch)[:start]
 	return buf
 }
+
+// internTab holds the xenstore vocabulary that appears in practically
+// every serialized guest subtree: device entry names, domain registry
+// keys, and the small state/flag values. It is built once and
+// read-only thereafter, so concurrent deserializers share it without
+// locking and a blob's standard strings never touch the per-reader
+// map.
+var internTab = func() map[string]string {
+	m := make(map[string]string, 64)
+	for _, s := range []string{
+		"", "0", "1", "2", "3", "4", "5", "6", "7", "8", "9",
+		"backend", "backend-id", "bridge", "event-channel",
+		"frontend", "frontend-id", "grant-ref", "handle", "mac",
+		"online", "state", "device", "vif", "vbd", "console",
+		"name", "vm", "domid", "memory", "target", "static-max",
+		"cpu", "availability", "limit", "type", "control",
+		"platform-feature-multiprocessor-suspend", "shutdown",
+		"image", "entry", "unpaused", "ring-ref", "port",
+		"xenbr0", "xenconsoled", "1048576",
+	} {
+		m[s] = s
+	}
+	return m
+}()
 
 // snapReader is a bounds-checked cursor over a snapshot blob.
 type snapReader struct {
 	data   []byte
 	off    int
 	maxGen uint64
+	// interned deduplicates the blob's strings: xenstore trees repeat
+	// the same handful of names and values across every device
+	// directory ("state", "event-channel", "1", ...), so each decoded
+	// string is materialized once per blob and shared thereafter. The
+	// map is keyed by its own values, so lookups from the raw byte
+	// window never allocate.
+	interned map[string]string
 }
 
 // uvarint reads a minimally-encoded varint (non-minimal encodings are
@@ -150,8 +224,19 @@ func (r *snapReader) str() (string, error) {
 	if l > uint64(len(r.data)-r.off) {
 		return "", fmt.Errorf("%w: string length %d overruns input", ErrBadSnapshot, l)
 	}
-	s := string(r.data[r.off : r.off+int(l)])
+	b := r.data[r.off : r.off+int(l)]
 	r.off += int(l)
+	if s, ok := internTab[string(b)]; ok {
+		return s, nil
+	}
+	if s, ok := r.interned[string(b)]; ok {
+		return s, nil
+	}
+	s := string(b)
+	if r.interned == nil {
+		r.interned = make(map[string]string, 16)
+	}
+	r.interned[s] = s
 	return s, nil
 }
 
@@ -193,7 +278,7 @@ func (r *snapReader) readNode(depth int) (*node, error) {
 	if gen > r.maxGen {
 		r.maxGen = gen
 	}
-	n := &node{name: name, value: value, gen: gen, owner: int(owner), perm: Perm(perm), size: 1}
+	n := &node{name: name, hsh: nameHash(name), value: value, gen: gen, owner: int(owner), perm: Perm(perm), size: 1}
 	prev := ""
 	for i := uint64(0); i < nkids; i++ {
 		c, err := r.readNode(depth + 1)
@@ -207,8 +292,11 @@ func (r *snapReader) readNode(depth int) (*node, error) {
 			return nil, fmt.Errorf("%w: children out of order (%q after %q)", ErrBadSnapshot, c.name, prev)
 		}
 		prev = c.name
-		kids, _ := amtSet(n.kids, nameHash(c.name), 0, c)
-		n.kids = kids
+		// amtBuild mutates the build-private trie in place (one
+		// allocation per level instead of a copied spine per child).
+		// Deserialized nodes are unpooled (ptag 0) — they may be
+		// grafted into any store and must never be recycled.
+		n.kids = amtBuild(n.kids, 0, c)
 		n.nkids++
 		n.size += c.size
 	}
@@ -290,6 +378,8 @@ func lastSegment(path string) string {
 // not half-fail). One op is charged and watches fire once, on
 // dstPath.
 func (s *Store) GraftSnapshot(sn *Snapshot, srcPath, dstPath string) error {
+	s.enter()
+	defer s.exit()
 	sub, _ := resolveFrom(sn.root, srcPath)
 	if sub == nil {
 		s.chargeOp(1)
@@ -307,14 +397,14 @@ func (s *Store) GraftSnapshot(sn *Snapshot, srcPath, dstPath string) error {
 	if sn.gen > s.gen {
 		s.gen = sn.gen
 	}
-	grafted := sub.clone()
+	grafted := sub.clone(s.pl)
 	grafted.name = name
+	grafted.hsh = nameHash(name) // renamed: its segment id moves with it
 	s.gen++
 	grafted.gen = s.gen
-	it := segments(dstPath)
-	newRoot, touched, _ := s.applyWrite(s.loaded().root, &it, 0, func(*node) *node {
-		return grafted
-	})
+	it := hashSegments(dstPath)
+	op := leafOp{kind: leafReplace, repl: grafted}
+	newRoot, touched, _ := s.applyWrite(s.loaded().root, &it, 0, &op)
 	s.publish(newRoot)
 	s.chargeOp(touched + s.matchCost(dstPath))
 	s.fireWatches(dstPath)

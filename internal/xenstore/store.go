@@ -28,6 +28,12 @@
 // sim.Clock per timeline. Snapshot is the exception: it only loads
 // the atomically-published root, so any goroutine may take and read
 // snapshots while the owning timeline keeps mutating.
+//
+// Hot-path structure (profile-guided; DESIGN.md §9): path segments are
+// hashed once while the path is being split (hashIter) and compared as
+// 64-bit ids from then on; spine copies recycle through the store's
+// pool (pool.go); operations bracket themselves with enter/exit so
+// recycling stays safe across the re-entrant clock charge.
 package xenstore
 
 import (
@@ -52,7 +58,19 @@ var (
 	// conflicting past its retry budget; it wraps ErrAgain, so callers
 	// can match either the exhaustion or the underlying conflict.
 	ErrTxnRetriesExhausted = errors.New("xenstore: transaction retries exhausted")
+
+	errRmRoot = errors.New("xenstore: cannot remove root")
 )
+
+// noEntError is the concrete miss error. The hot paths used to build
+// it with fmt.Errorf("%w: %s", ...) — several allocations per miss,
+// and transaction observes produced (and discarded) one per absent
+// node. This type defers all formatting to Error() and still matches
+// errors.Is(err, ErrNoEnt) via Unwrap.
+type noEntError struct{ path string }
+
+func (e *noEntError) Error() string { return "xenstore: no such node: " + e.path }
+func (e *noEntError) Unwrap() error { return ErrNoEnt }
 
 // Counters aggregates store activity for tests and Fig. 5 attribution.
 type Counters struct {
@@ -80,10 +98,13 @@ type Counters struct {
 
 // treeState is one published version of the store: the immutable root
 // plus the generation counter it was published at. Root and generation
-// travel together so Snapshot captures a consistent pair.
+// travel together so Snapshot captures a consistent pair. birth is the
+// snapshot epoch at allocation (treeStates recycle through the pool
+// under the same epoch rule as nodes).
 type treeState struct {
-	root *node
-	gen  uint64
+	root  *node
+	gen   uint64
+	birth uint64
 }
 
 // Store is the oxenstored-equivalent.
@@ -92,16 +113,53 @@ type Store struct {
 	state atomic.Pointer[treeState]
 	gen   uint64 // mutator-side generation counter (mirrored into state)
 
+	// snapEpoch is bumped by Snapshot *before* it loads the root; the
+	// pool recycles only objects whose lifetime saw no bump (pool.go).
+	snapEpoch atomic.Uint64
+	pl        *pool
+	// pubs counts publishes (including SetPerm, which publishes without
+	// a generation bump). Reads use it to skip their end-of-round-trip
+	// re-resolve when nothing was published during the charge.
+	pubs uint64
+
+	// resCache memoizes the most recent resolve against the current
+	// publish count: toolstack flows re-read one path hundreds of
+	// times between mutations (libxl's state re-reads), and each hit
+	// skips the physical trie walk while still charging the identical
+	// modeled cost. pubs is monotonic, so a hit can never alias a
+	// recycled root pointer.
+	resCachePubs    uint64
+	resCachePath    string
+	resCacheNode    *node
+	resCacheTouched int
+
 	watches   []*watch
 	nextWatch int
-	// watchIndex buckets watches by the first segment of their prefix
-	// so fireWatches only scans the modified subtree's candidates;
-	// rootWatches holds watches on "/" (they match every path).
+	// watchIndex buckets watches by their full normalized prefix: the
+	// watches matching a write are exactly those registered on one of
+	// the written path's ancestors, so delivery looks up O(depth)
+	// buckets instead of scanning every registered watch. rootWatches
+	// holds watches on "/" (they match every path).
 	watchIndex  map[string][]*watch
 	rootWatches []*watch
+	// Per-commit watch delivery batching (watch.go): merged candidate
+	// lists are built in per-depth scratch buffers and the depth-0 list
+	// is cached across consecutive fires of the same path. mergeBufs is
+	// the per-depth bucket scratch for the id-order merge.
+	fireBufs   [][]*watch
+	mergeBufs  [][][]*watch
+	fireDepth  int
+	batchPath  string
+	batchValid bool
+	batchCands []*watch
 
-	txns    map[TxnID]*txn
-	nextTxn TxnID
+	// Transactions: open set, recycled txn structs, and the path symbol
+	// table interning txn-observed paths to dense ids (txn.go).
+	openTxns []*txn
+	freeTxns []*txn
+	nextTxn  TxnID
+	pathIDs  map[string]uint32
+	paths    []string
 
 	// Logging: one logical line counter stands in for the 20 files
 	// (they rotate together).
@@ -135,12 +193,12 @@ type Store struct {
 func New(clock *sim.Clock) *Store {
 	s := &Store{
 		clock:          clock,
-		txns:           make(map[TxnID]*txn),
 		LoggingEnabled: true,
 		nodeQuota:      DefaultNodeQuota,
 		ownerNodes:     make(map[int]int),
 	}
-	s.state.Store(&treeState{root: &node{name: "/", size: 1}})
+	s.pl = newPool(&s.snapEpoch)
+	s.state.Store(&treeState{root: &node{name: "/", hsh: nameHash("/"), size: 1}})
 	return s
 }
 
@@ -149,15 +207,22 @@ func (s *Store) loaded() *treeState { return s.state.Load() }
 
 // publish installs root as the current tree version. Mutator-side
 // only; concurrent snapshotters observe either the old or the new
-// version, never a mix.
+// version, never a mix. The replaced version is retired to the pool.
 func (s *Store) publish(root *node) {
-	s.state.Store(&treeState{root: root, gen: s.gen})
+	ts := s.pl.getTS()
+	ts.root, ts.gen = root, s.gen
+	s.pl.retireTS(s.state.Swap(ts))
+	s.pubs++
 }
 
+// enter/exit bracket every public operation so pool recycling is
+// deferred past the operation's own node references and past any
+// nested operations run by clock callbacks mid-charge (pool.go).
+func (s *Store) enter() { s.pl.enter() }
+func (s *Store) exit()  { s.pl.exit() }
+
 // segIter walks a path's components without allocating: "/a/b/c"
-// yields "a", "b", "c" as substrings of the input. Path resolution is
-// the store's hottest loop (every read/write/ensure), so it must not
-// build a []string per operation the way strings.Split does.
+// yields "a", "b", "c" as substrings of the input.
 type segIter struct {
 	rest string
 }
@@ -187,11 +252,47 @@ func (it *segIter) next() (seg string, ok bool) {
 	}
 }
 
-// firstSegment returns the first component of path ("" for the root).
-func firstSegment(path string) string {
-	it := segments(path)
-	seg, _ := it.next()
-	return seg
+// hashIter is segIter fused with segment interning: it yields each
+// component together with its 64-bit FNV-1a id, computed in the same
+// pass that finds the separators. Resolution and spine rebuilds are the
+// store's hottest loops; they descend the trie on the id and only
+// touch the segment string to guard against full-hash collisions.
+type hashIter struct {
+	rest string
+}
+
+// hashSegments returns a hashing iterator over path's components.
+func hashSegments(path string) hashIter {
+	i, j := 0, len(path)
+	for i < j && path[i] == '/' {
+		i++
+	}
+	for j > i && path[j-1] == '/' {
+		j--
+	}
+	return hashIter{rest: path[i:j]}
+}
+
+// next returns the following component and its segment id.
+func (it *hashIter) next() (seg string, h uint64, ok bool) {
+	for it.rest != "" {
+		seg = it.rest
+		if i := strings.IndexByte(seg, '/'); i >= 0 {
+			seg, it.rest = seg[:i], seg[i+1:]
+		} else {
+			it.rest = ""
+		}
+		if seg == "" {
+			continue
+		}
+		h = fnvOffset64
+		for k := 0; k < len(seg); k++ {
+			h ^= uint64(seg[k])
+			h *= fnvPrime64
+		}
+		return seg, h, true
+	}
+	return "", 0, false
 }
 
 // chargeOp accounts one protocol round trip plus extra node touches.
@@ -236,15 +337,15 @@ func (s *Store) logAccess() {
 // node (nil if missing) and the number of nodes visited. Shared by the
 // live store and frozen snapshots.
 func resolveFrom(root *node, path string) (*node, int) {
-	it := segments(path)
+	it := hashSegments(path)
 	n := root
 	touched := 1
 	for {
-		p, ok := it.next()
+		seg, h, ok := it.next()
 		if !ok {
 			return n, touched
 		}
-		child := n.child(p)
+		child := n.childByID(h, seg)
 		if child == nil {
 			return nil, touched
 		}
@@ -255,7 +356,13 @@ func resolveFrom(root *node, path string) (*node, int) {
 
 // resolve walks a path in the live tree.
 func (s *Store) resolve(path string) (*node, int) {
-	return resolveFrom(s.loaded().root, path)
+	if s.resCachePubs == s.pubs && s.resCachePath == path && s.resCachePath != "" {
+		return s.resCacheNode, s.resCacheTouched
+	}
+	n, touched := resolveFrom(s.loaded().root, path)
+	s.resCachePubs, s.resCachePath = s.pubs, path
+	s.resCacheNode, s.resCacheTouched = n, touched
+	return n, touched
 }
 
 // lookup resolves a path, returning the node and the number of nodes
@@ -263,39 +370,80 @@ func (s *Store) resolve(path string) (*node, int) {
 func (s *Store) lookup(path string) (*node, int, error) {
 	n, touched := s.resolve(path)
 	if n == nil {
-		return nil, touched, fmt.Errorf("%w: %s", ErrNoEnt, path)
+		return nil, touched, &noEntError{path}
 	}
 	return n, touched, nil
 }
 
+// leafOp describes what a spine rebuild does to the final node. It
+// replaces the per-call closure applyWrite used to take — the closure
+// captured locals and allocated on every Write; the op struct lives on
+// the caller's stack.
+type leafOp struct {
+	kind  leafKind
+	value string // leafValue: the value to set
+	repl  *node  // leafReplace: the subtree to install
+}
+
+type leafKind int
+
+const (
+	// leafEnsure leaves an existing final node untouched (Mkdir).
+	leafEnsure leafKind = iota
+	// leafValue sets the final node's value with a generation bump.
+	leafValue
+	// leafReplace swaps in a prepared subtree (GraftSnapshot), retiring
+	// whatever was there.
+	leafReplace
+)
+
+// applyLeaf applies op to the final node of a spine rebuild.
+func (s *Store) applyLeaf(n *node, op *leafOp) *node {
+	switch op.kind {
+	case leafValue:
+		c := n.clone(s.pl)
+		c.value = op.value
+		s.gen++
+		c.gen = s.gen
+		s.pl.retireNode(n)
+		return c
+	case leafReplace:
+		s.pl.retireTree(n)
+		return op.repl
+	default: // leafEnsure
+		return n
+	}
+}
+
 // applyWrite rebuilds the spine from n down the remaining path,
 // creating missing components (owned by owner, gen 0 — see node) and
-// replacing the final node with leaf(final). Generation bumps happen
-// top-down in the same order as the historical mutable implementation:
-// a parent's generation is bumped at the moment a child is created
-// under it, before deeper creations. It returns the new subtree root,
-// the nodes visited, and whether any component was created. When leaf
-// returns its argument unchanged and nothing was created, the original
-// n is returned (pointer-equal), so no-op mutations publish nothing.
-func (s *Store) applyWrite(n *node, it *segIter, owner int, leaf func(*node) *node) (*node, int, bool) {
-	seg, ok := it.next()
+// applying op to the final node. Generation bumps happen top-down in
+// the same order as the historical mutable implementation: a parent's
+// generation is bumped at the moment a child is created under it,
+// before deeper creations. It returns the new subtree root, the nodes
+// visited, and whether any component was created. When op changes
+// nothing and nothing was created, the original n is returned
+// (pointer-equal), so no-op mutations publish nothing.
+func (s *Store) applyWrite(n *node, it *hashIter, owner int, op *leafOp) (*node, int, bool) {
+	seg, h, ok := it.next()
 	if !ok {
-		return leaf(n), 1, false
+		return s.applyLeaf(n, op), 1, false
 	}
-	child := n.child(seg)
+	child := n.childByID(h, seg)
 	created := false
 	var parentGen uint64
 	if child == nil {
-		child = &node{name: seg, owner: owner, size: 1}
+		child = s.pl.getNode()
+		child.name, child.hsh, child.owner, child.size = seg, h, owner, 1
 		s.gen++
 		parentGen = s.gen
 		created = true
 	}
-	newChild, touched, deeper := s.applyWrite(child, it, owner, leaf)
+	newChild, touched, deeper := s.applyWrite(child, it, owner, op)
 	if newChild == child && !created {
 		return n, touched + 1, deeper
 	}
-	nn := n.withChild(newChild)
+	nn := n.withChild(s.pl, newChild)
 	if created {
 		nn.gen = parentGen
 	}
@@ -310,14 +458,11 @@ func (s *Store) Write(path, value string) {
 
 // WriteAs is Write with an owning domain for new nodes.
 func (s *Store) WriteAs(owner int, path, value string) {
-	it := segments(path)
-	newRoot, touched, _ := s.applyWrite(s.loaded().root, &it, owner, func(n *node) *node {
-		c := n.clone()
-		c.value = value
-		s.gen++
-		c.gen = s.gen
-		return c
-	})
+	s.enter()
+	defer s.exit()
+	it := hashSegments(path)
+	op := leafOp{kind: leafValue, value: value}
+	newRoot, touched, _ := s.applyWrite(s.loaded().root, &it, owner, &op)
 	s.publish(newRoot)
 	s.chargeOp(touched + s.matchCost(path))
 	s.fireWatches(path)
@@ -330,21 +475,30 @@ func (s *Store) WriteAs(owner int, path, value string) {
 // — the behaviour of a store daemon that serializes the reply after
 // processing everything ahead of it. Whether the node exists is
 // decided at the START of the op (a node appearing mid-charge does not
-// turn an ErrNoEnt into a hit).
+// turn an ErrNoEnt into a hit). The publish counter makes the common
+// case — nothing happened during the charge — free: the second resolve
+// runs only when something was actually published.
 func (s *Store) Read(path string) (string, error) {
-	n, touched, err := s.lookup(path)
+	s.enter()
+	defer s.exit()
+	n, touched := s.resolve(path)
+	pubs := s.pubs
 	s.chargeOp(touched)
-	if err != nil {
-		return "", err
+	if n == nil {
+		return "", &noEntError{path}
 	}
-	if cur, _ := s.resolve(path); cur != nil {
-		return cur.value, nil
+	if s.pubs != pubs {
+		if cur, _ := s.resolve(path); cur != nil {
+			return cur.value, nil
+		}
 	}
 	return n.value, nil
 }
 
 // Exists reports whether path resolves.
 func (s *Store) Exists(path string) bool {
+	s.enter()
+	defer s.exit()
 	n, touched := s.resolve(path)
 	s.chargeOp(touched)
 	return n != nil
@@ -352,8 +506,11 @@ func (s *Store) Exists(path string) bool {
 
 // Mkdir creates a directory node.
 func (s *Store) Mkdir(path string) {
-	it := segments(path)
-	newRoot, touched, created := s.applyWrite(s.loaded().root, &it, 0, func(n *node) *node { return n })
+	s.enter()
+	defer s.exit()
+	it := hashSegments(path)
+	op := leafOp{kind: leafEnsure}
+	newRoot, touched, created := s.applyWrite(s.loaded().root, &it, 0, &op)
 	if created {
 		s.publish(newRoot)
 		s.chargeOp(touched + s.matchCost(path))
@@ -376,16 +533,21 @@ func (s *Store) Directory(path string) ([]string, error) {
 // so the listing reuses one buffer instead of allocating O(#guests)
 // per operation.
 func (s *Store) DirectoryAppend(path string, buf []string) ([]string, error) {
-	n, touched, err := s.lookup(path)
-	if err != nil {
+	s.enter()
+	defer s.exit()
+	n, touched := s.resolve(path)
+	if n == nil {
 		s.chargeOp(touched)
-		return nil, err
+		return nil, &noEntError{path}
 	}
+	pubs := s.pubs
 	s.chargeOp(touched + n.nkids)
 	// Like Read, the listing reflects children as of the end of the
 	// charge (the cost was fixed at op start).
-	if cur, _ := s.resolve(path); cur != nil {
-		n = cur
+	if s.pubs != pubs {
+		if cur, _ := s.resolve(path); cur != nil {
+			n = cur
+		}
 	}
 	out := appendChildNames(n.kids, buf[:0])
 	sort.Strings(out)
@@ -418,10 +580,10 @@ func appendChildNames(a *amtNode, buf []string) []string {
 // final component leaf) removed. The visited-node count reproduces the
 // historical walk exactly: one per ancestor reached, whether or not
 // the final component exists.
-func (s *Store) applyRm(n *node, it *segIter, leaf string) (newN, removed *node, touched int, found bool) {
-	next, more := it.next()
+func (s *Store) applyRm(n *node, it *hashIter, leaf string, leafH uint64) (newN, removed *node, touched int, found bool) {
+	next, nextH, more := it.next()
 	if !more {
-		nn, rm := n.withoutChild(leaf)
+		nn, rm := n.withoutChild(s.pl, leaf, leafH)
 		if rm == nil {
 			return nil, nil, 1, false
 		}
@@ -429,53 +591,60 @@ func (s *Store) applyRm(n *node, it *segIter, leaf string) (newN, removed *node,
 		nn.gen = s.gen
 		return nn, rm, 1, true
 	}
-	child := n.child(leaf)
+	child := n.childByID(leafH, leaf)
 	if child == nil {
 		return nil, nil, 1, false
 	}
-	newChild, rm, t, ok := s.applyRm(child, it, next)
+	newChild, rm, t, ok := s.applyRm(child, it, next, nextH)
 	if !ok {
 		return nil, nil, t + 1, false
 	}
-	return n.withChild(newChild), rm, t + 1, true
+	return n.withChild(s.pl, newChild), rm, t + 1, true
 }
 
 // updateAt rebuilds the spine down the remaining path and replaces the
 // final node with f(final), creating nothing. The visited-node count
 // matches resolveFrom. Generations are untouched unless f bumps them.
-func updateAt(n *node, it *segIter, f func(*node) *node) (newN *node, touched int, found bool) {
-	seg, ok := it.next()
+// f owns retirement of the node it replaces.
+func updateAt(p *pool, n *node, it *hashIter, f func(*node) *node) (newN *node, touched int, found bool) {
+	seg, h, ok := it.next()
 	if !ok {
 		return f(n), 1, true
 	}
-	child := n.child(seg)
+	child := n.childByID(h, seg)
 	if child == nil {
 		return nil, 1, false
 	}
-	newChild, t, ok := updateAt(child, it, f)
+	newChild, t, ok := updateAt(p, child, it, f)
 	if !ok {
 		return nil, t + 1, false
 	}
-	return n.withChild(newChild), t + 1, true
+	return n.withChild(p, newChild), t + 1, true
 }
 
 // Rm removes path and its subtree.
 func (s *Store) Rm(path string) error {
-	it := segments(path)
-	leaf, ok := it.next()
+	s.enter()
+	defer s.exit()
+	it := hashSegments(path)
+	leaf, leafH, ok := it.next()
 	if !ok {
-		return errors.New("xenstore: cannot remove root")
+		return errRmRoot
 	}
-	newRoot, removed, touched, found := s.applyRm(s.loaded().root, &it, leaf)
+	newRoot, removed, touched, found := s.applyRm(s.loaded().root, &it, leaf, leafH)
 	if !found {
 		s.chargeOp(touched)
-		return fmt.Errorf("%w: %s", ErrNoEnt, path)
+		return &noEntError{path}
 	}
 	// Return quota to each removed node's actual owner, so the ledger
 	// always matches the tree (CheckConsistency's invariant).
 	s.debitOwners(removed)
+	rmSize := removed.size
 	s.publish(newRoot)
-	s.chargeOp(touched + removed.size + s.matchCost(path))
+	// The whole detached subtree is dead unless a snapshot holds it —
+	// the pool's epoch check decides.
+	s.pl.retireTree(removed)
+	s.chargeOp(touched + rmSize + s.matchCost(path))
 	s.fireWatches(path)
 	return nil
 }
@@ -493,6 +662,8 @@ func (s *Store) NumNodes() int { return s.loaded().root.size - 1 }
 // cost is linear in the number of registered guests — and the
 // comparisons are real.
 func (s *Store) WriteUniqueName(dir, key, name string) error {
+	s.enter()
+	defer s.exit()
 	s.Count.UniqScans++
 	n, _ := s.resolve(dir)
 	if n != nil {

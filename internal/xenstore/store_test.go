@@ -359,7 +359,7 @@ func TestTxnBodyErrorAborts(t *testing.T) {
 	if s.Exists("/x") {
 		t.Fatal("aborted txn leaked writes")
 	}
-	if len(s.txns) != 0 {
+	if len(s.openTxns) != 0 {
 		t.Fatal("txn table leak")
 	}
 }

@@ -19,6 +19,20 @@ import "math/bits"
 // O(log32 fanout) small arrays instead of O(fanout): /local/domain
 // with 8000 guests copies two ~32-slot arrays per write beneath it,
 // not an 8000-entry map.
+//
+// Hot-path mechanics (profile-guided, see DESIGN.md §9):
+//
+//   - every node carries its segment's 64-bit FNV id (hsh), computed
+//     once at creation; trie descent and spine copies compare and key
+//     on that integer and never re-hash the name string;
+//   - spine copies draw node and trie-level objects from the owning
+//     store's pool (pool.go) and retire the objects they replace, so
+//     steady-state mutation recycles its own garbage instead of
+//     feeding the GC. Retirement is COW-safe: anything a snapshot
+//     could have captured is never reused.
+//
+// The helpers below take an optional *pool; nil (deserialization,
+// tests) falls back to plain allocation and retires nothing.
 
 // node is one immutable store node. The zero gen means "never
 // explicitly modified" — freshly ensured intermediate directories keep
@@ -28,6 +42,7 @@ import "math/bits"
 // appearing).
 type node struct {
 	name  string
+	hsh   uint64 // FNV-1a of name: the interned segment id and trie key
 	value string
 	gen   uint64 // bumped on any modification (incl. child add/rm)
 	owner int    // domain that owns the node (permission model)
@@ -36,17 +51,31 @@ type node struct {
 	kids  *amtNode // nil when the node has no children
 	nkids int      // direct children
 	size  int      // subtree node count including this node
+
+	// Pool provenance (see pool.go). ptag identifies the allocating
+	// store's pool (0 = unpooled: deserialized, foreign, or test
+	// construction); birth is that store's snapshot epoch at
+	// allocation. A node is recycled only by its own pool and only
+	// when no snapshot was taken during its lifetime.
+	ptag  uint32
+	birth uint64
 }
 
-// clone returns a mutable copy of n; callers fix it up and publish it
-// inside a new tree version. The original is never touched.
-func (n *node) clone() *node {
-	c := *n
-	return &c
+// clone returns a mutable copy of n drawn from p (plain allocation
+// when p is nil); callers fix it up and publish it inside a new tree
+// version. The original is never touched — and never retired here:
+// retirement is the caller's call, because clones also copy foreign
+// nodes (grafts) whose originals stay live.
+func (n *node) clone(p *pool) *node {
+	c := p.getNode()
+	ptag, birth := c.ptag, c.birth
+	*c = *n
+	c.ptag, c.birth = ptag, birth
+	return c
 }
 
 // ---------------------------------------------------------------------------
-// Persistent HAMT: name → *node.
+// Persistent HAMT: segment id (hsh) → *node.
 // ---------------------------------------------------------------------------
 
 const (
@@ -62,9 +91,12 @@ const (
 
 // amtNode is one bitmap-compressed trie level. slots[i] is either a
 // *node (a direct entry) or a *amtNode (a deeper level); at
-// amtMaxShift, slots hold *amtCollision.
+// amtMaxShift, slots hold *amtCollision. ptag/birth mirror node's
+// pool provenance.
 type amtNode struct {
 	bitmap uint32
+	ptag   uint32
+	birth  uint64
 	slots  []any
 }
 
@@ -74,14 +106,21 @@ type amtCollision struct {
 	entries []*node
 }
 
-// nameHash is FNV-1a over the child name. Allocation-free.
+// FNV-1a parameters, shared with hashIter (store.go), which computes
+// the same hash inline while splitting paths.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// nameHash is FNV-1a over the child name — the segment's interned id.
+// Allocation-free, computed once per node at creation and carried in
+// node.hsh thereafter.
 func nameHash(s string) uint64 {
-	const offset64 = 14695981039346656037
-	const prime64 = 1099511628211
-	h := uint64(offset64)
+	h := uint64(fnvOffset64)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])
-		h *= prime64
+		h *= fnvPrime64
 	}
 	return h
 }
@@ -91,8 +130,11 @@ func (a *amtNode) slotIndex(bit uint32) int {
 	return bits.OnesCount32(a.bitmap & (bit - 1))
 }
 
-// amtGet returns the child named name, or nil.
-func amtGet(a *amtNode, h uint64, shift uint, name string) *node {
+// amtGet returns the child with segment id h named name, or nil.
+// Descent keys on the integer id; the name is compared only at the
+// final candidate, and only to guard against full 64-bit collisions.
+func amtGet(a *amtNode, h uint64, name string) *node {
+	shift := uint(0)
 	for a != nil {
 		if shift >= amtMaxShift {
 			for _, s := range a.slots {
@@ -112,7 +154,7 @@ func amtGet(a *amtNode, h uint64, shift uint, name string) *node {
 		}
 		switch s := a.slots[a.slotIndex(bit)].(type) {
 		case *node:
-			if s.name == name {
+			if s.hsh == h && s.name == name {
 				return s
 			}
 			return nil
@@ -125,46 +167,107 @@ func amtGet(a *amtNode, h uint64, shift uint, name string) *node {
 	return nil
 }
 
-// withSlot returns a copy of a with the packed slot at idx replaced.
-func (a *amtNode) withSlot(idx int, s any) *amtNode {
-	slots := make([]any, len(a.slots))
-	copy(slots, a.slots)
-	slots[idx] = s
-	return &amtNode{bitmap: a.bitmap, slots: slots}
+// withSlot returns a copy of a with the packed slot at idx replaced,
+// retiring the original level to p.
+func (a *amtNode) withSlot(p *pool, idx int, s any) *amtNode {
+	c := p.getAMT(len(a.slots))
+	c.bitmap = a.bitmap
+	copy(c.slots, a.slots)
+	c.slots[idx] = s
+	p.retireAMT(a)
+	return c
 }
 
-// withInsert returns a copy of a with a new bit set and slot inserted.
-func (a *amtNode) withInsert(bit uint32, s any) *amtNode {
+// withInsert returns a copy of a with a new bit set and slot inserted,
+// retiring the original level to p.
+func (a *amtNode) withInsert(p *pool, bit uint32, s any) *amtNode {
 	idx := a.slotIndex(bit)
-	slots := make([]any, len(a.slots)+1)
-	copy(slots, a.slots[:idx])
-	slots[idx] = s
-	copy(slots[idx+1:], a.slots[idx:])
-	return &amtNode{bitmap: a.bitmap | bit, slots: slots}
+	c := p.getAMT(len(a.slots) + 1)
+	c.bitmap = a.bitmap | bit
+	copy(c.slots, a.slots[:idx])
+	c.slots[idx] = s
+	copy(c.slots[idx+1:], a.slots[idx:])
+	p.retireAMT(a)
+	return c
 }
 
 // withRemove returns a copy of a with a bit cleared and its slot
-// dropped (nil when the level empties).
-func (a *amtNode) withRemove(bit uint32) *amtNode {
+// dropped (nil when the level empties), retiring the original.
+func (a *amtNode) withRemove(p *pool, bit uint32) *amtNode {
 	if a.bitmap == bit {
+		p.retireAMT(a)
 		return nil
 	}
 	idx := a.slotIndex(bit)
-	slots := make([]any, len(a.slots)-1)
-	copy(slots, a.slots[:idx])
-	copy(slots[idx:], a.slots[idx+1:])
-	return &amtNode{bitmap: a.bitmap &^ bit, slots: slots}
+	c := p.getAMT(len(a.slots) - 1)
+	c.bitmap = a.bitmap &^ bit
+	copy(c.slots, a.slots[:idx])
+	copy(c.slots[idx:], a.slots[idx+1:])
+	p.retireAMT(a)
+	return c
 }
 
-// amtSet returns a new trie with child present under its name,
-// reporting whether the entry is new (vs replaced).
-func amtSet(a *amtNode, h uint64, shift uint, child *node) (*amtNode, bool) {
+// amtBuild inserts child into a build-private trie in place. It is
+// the mutating counterpart of amtSet for trees under construction
+// (snapshot deserialization): every level reachable from a is
+// exclusively owned by the builder and unpooled (ptag 0), so slots
+// are grown and overwritten directly instead of copied — one level
+// allocation per surviving level rather than one per insertion step.
+// Callers guarantee child names are unique (the canonical snapshot
+// format enforces strictly ascending children), so there is no
+// replace case.
+func amtBuild(a *amtNode, shift uint, child *node) *amtNode {
+	h := child.hsh
 	if a == nil {
 		if shift >= amtMaxShift {
-			return &amtNode{bitmap: 1, slots: []any{&amtCollision{entries: []*node{child}}}}, true
+			return &amtNode{bitmap: 1, slots: []any{&amtCollision{entries: []*node{child}}}}
 		}
 		bit := uint32(1) << ((h >> shift) & amtMask)
-		return &amtNode{bitmap: bit, slots: []any{child}}, true
+		return &amtNode{bitmap: bit, slots: []any{child}}
+	}
+	if shift >= amtMaxShift {
+		c := a.slots[0].(*amtCollision)
+		c.entries = append(c.entries, child)
+		return a
+	}
+	bit := uint32(1) << ((h >> shift) & amtMask)
+	idx := a.slotIndex(bit)
+	if a.bitmap&bit == 0 {
+		a.bitmap |= bit
+		a.slots = append(a.slots, nil)
+		copy(a.slots[idx+1:], a.slots[idx:])
+		a.slots[idx] = child
+		return a
+	}
+	switch s := a.slots[idx].(type) {
+	case *node:
+		// Two ids share this slot: push the old entry one level down
+		// next to the new one.
+		a.slots[idx] = amtBuild(amtBuild(nil, shift+amtBits, s), shift+amtBits, child)
+	case *amtNode:
+		a.slots[idx] = amtBuild(s, shift+amtBits, child)
+	}
+	return a
+}
+
+// amtSet returns a new trie with child present under its id (hsh),
+// reporting whether the entry is new (vs replaced). Replaced levels
+// are retired to p; the replaced entry node is not (the caller owns
+// that decision).
+func amtSet(p *pool, a *amtNode, shift uint, child *node) (*amtNode, bool) {
+	h := child.hsh
+	if a == nil {
+		if shift >= amtMaxShift {
+			c := p.getAMT(1)
+			c.bitmap = 1
+			c.slots[0] = &amtCollision{entries: []*node{child}}
+			return c, true
+		}
+		bit := uint32(1) << ((h >> shift) & amtMask)
+		c := p.getAMT(1)
+		c.bitmap = bit
+		c.slots[0] = child
+		return c, true
 	}
 	if shift >= amtMaxShift {
 		c, _ := a.slots[0].(*amtCollision)
@@ -173,40 +276,41 @@ func amtSet(a *amtNode, h uint64, shift uint, child *node) (*amtNode, bool) {
 				entries := make([]*node, len(c.entries))
 				copy(entries, c.entries)
 				entries[i] = child
-				return &amtNode{bitmap: a.bitmap, slots: []any{&amtCollision{entries: entries}}}, false
+				return a.withSlot(p, 0, &amtCollision{entries: entries}), false
 			}
 		}
 		entries := make([]*node, len(c.entries)+1)
 		copy(entries, c.entries)
 		entries[len(c.entries)] = child
-		return &amtNode{bitmap: a.bitmap, slots: []any{&amtCollision{entries: entries}}}, true
+		return a.withSlot(p, 0, &amtCollision{entries: entries}), true
 	}
 	bit := uint32(1) << ((h >> shift) & amtMask)
 	if a.bitmap&bit == 0 {
-		return a.withInsert(bit, child), true
+		return a.withInsert(p, bit, child), true
 	}
 	idx := a.slotIndex(bit)
 	switch s := a.slots[idx].(type) {
 	case *node:
-		if s.name == child.name {
-			return a.withSlot(idx, child), false
+		if s.hsh == h && s.name == child.name {
+			return a.withSlot(p, idx, child), false
 		}
-		// Two names share this slot: push the old entry one level down
-		// next to the new one.
-		sub, _ := amtSet(nil, nameHash(s.name), shift+amtBits, s)
-		sub, _ = amtSet(sub, h, shift+amtBits, child)
-		return a.withSlot(idx, sub), true
+		// Two ids share this slot: push the old entry one level down
+		// next to the new one. s.hsh is already computed — no rehash.
+		sub, _ := amtSet(p, nil, shift+amtBits, s)
+		sub, _ = amtSet(p, sub, shift+amtBits, child)
+		return a.withSlot(p, idx, sub), true
 	case *amtNode:
-		sub, added := amtSet(s, h, shift+amtBits, child)
-		return a.withSlot(idx, sub), added
+		sub, added := amtSet(p, s, shift+amtBits, child)
+		return a.withSlot(p, idx, sub), added
 	default:
 		return a, false // unreachable
 	}
 }
 
-// amtDel returns a new trie without name, and the removed entry (nil
-// if absent). Emptied levels collapse to nil.
-func amtDel(a *amtNode, h uint64, shift uint, name string) (*amtNode, *node) {
+// amtDel returns a new trie without the entry with id h named name,
+// and the removed entry (nil if absent). Emptied levels collapse to
+// nil; replaced levels are retired to p.
+func amtDel(p *pool, a *amtNode, h uint64, shift uint, name string) (*amtNode, *node) {
 	if a == nil {
 		return nil, nil
 	}
@@ -215,12 +319,13 @@ func amtDel(a *amtNode, h uint64, shift uint, name string) (*amtNode, *node) {
 		for i, e := range c.entries {
 			if e.name == name {
 				if len(c.entries) == 1 {
+					p.retireAMT(a)
 					return nil, e
 				}
 				entries := make([]*node, 0, len(c.entries)-1)
 				entries = append(entries, c.entries[:i]...)
 				entries = append(entries, c.entries[i+1:]...)
-				return &amtNode{bitmap: a.bitmap, slots: []any{&amtCollision{entries: entries}}}, e
+				return a.withSlot(p, 0, &amtCollision{entries: entries}), e
 			}
 		}
 		return a, nil
@@ -232,19 +337,19 @@ func amtDel(a *amtNode, h uint64, shift uint, name string) (*amtNode, *node) {
 	idx := a.slotIndex(bit)
 	switch s := a.slots[idx].(type) {
 	case *node:
-		if s.name != name {
+		if s.hsh != h || s.name != name {
 			return a, nil
 		}
-		return a.withRemove(bit), s
+		return a.withRemove(p, bit), s
 	case *amtNode:
-		sub, removed := amtDel(s, h, shift+amtBits, name)
+		sub, removed := amtDel(p, s, h, shift+amtBits, name)
 		if removed == nil {
 			return a, nil
 		}
 		if sub == nil {
-			return a.withRemove(bit), removed
+			return a.withRemove(p, bit), removed
 		}
-		return a.withSlot(idx, sub), removed
+		return a.withSlot(p, idx, sub), removed
 	default:
 		return a, nil
 	}
@@ -282,15 +387,25 @@ func (n *node) child(name string) *node {
 	if n.kids == nil {
 		return nil
 	}
-	return amtGet(n.kids, nameHash(name), 0, name)
+	return amtGet(n.kids, nameHash(name), name)
+}
+
+// childByID returns n's direct child by precomputed segment id.
+func (n *node) childByID(h uint64, name string) *node {
+	if n.kids == nil {
+		return nil
+	}
+	return amtGet(n.kids, h, name)
 }
 
 // withChild returns a copy of n with child set (added or replaced),
-// with size/nkids bookkeeping.
-func (n *node) withChild(child *node) *node {
-	c := n.clone()
-	old := n.child(child.name)
-	kids, added := amtSet(n.kids, nameHash(child.name), 0, child)
+// with size/nkids bookkeeping. The spine copy and any replaced trie
+// levels come from / retire to p; n itself is retired (every caller
+// replaces n with the copy in the published tree).
+func (n *node) withChild(p *pool, child *node) *node {
+	c := n.clone(p)
+	old := n.childByID(child.hsh, child.name)
+	kids, added := amtSet(p, n.kids, 0, child)
 	c.kids = kids
 	if added {
 		c.nkids++
@@ -298,29 +413,53 @@ func (n *node) withChild(child *node) *node {
 	} else {
 		c.size += child.size - old.size
 	}
+	p.retireNode(n)
 	return c
 }
 
-// withoutChild returns a copy of n with the named child removed, plus
-// the removed child (nil, nil if absent).
-func (n *node) withoutChild(name string) (*node, *node) {
+// withoutChild returns a copy of n with the child with id h named name
+// removed, plus the removed child (nil, nil if absent). n is retired
+// on success.
+func (n *node) withoutChild(p *pool, name string, h uint64) (*node, *node) {
 	if n.kids == nil {
 		return nil, nil
 	}
-	kids, removed := amtDel(n.kids, nameHash(name), 0, name)
+	kids, removed := amtDel(p, n.kids, h, 0, name)
 	if removed == nil {
 		return nil, nil
 	}
-	c := n.clone()
+	c := n.clone(p)
 	c.kids = kids
 	c.nkids--
 	c.size -= removed.size
+	p.retireNode(n)
 	return c, removed
 }
 
 // eachChild iterates n's direct children.
 func (n *node) eachChild(fn func(*node) bool) {
 	amtIter(n.kids, fn)
+}
+
+// appendChildren appends every child of n to dst in trie (hash)
+// order. It exists alongside eachChild for hot paths: a collecting
+// callback closes over its destination and Go heap-allocates the
+// closure per call, while this plain recursion allocates nothing.
+func appendChildren(a *amtNode, dst []*node) []*node {
+	if a == nil {
+		return dst
+	}
+	for _, s := range a.slots {
+		switch c := s.(type) {
+		case *node:
+			dst = append(dst, c)
+		case *amtNode:
+			dst = appendChildren(c, dst)
+		case *amtCollision:
+			dst = append(dst, c.entries...)
+		}
+	}
+	return dst
 }
 
 // countNodes reports the subtree size (kept for readability at call

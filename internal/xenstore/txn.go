@@ -14,12 +14,47 @@ import (
 // TxnID identifies an open transaction.
 type TxnID uint64
 
+// Transactions are the second-hottest xenstore path after plain writes
+// (every toolstack create commits two, every device another). The
+// original implementation allocated two maps per TxnStart and boxed
+// every buffered value in a *string; this one keeps read and write
+// sets in small reusable slices keyed by interned path ids, and the
+// txn structs themselves recycle through a per-store free list — a
+// warm transaction start/observe/write/commit cycle allocates only
+// its handle.
+//
+// Paths are interned into the store's symbol table (pathID): dense
+// uint32 ids assigned in first-seen order, so they are deterministic
+// for a deterministic op sequence and cheap to compare and sort.
+// Conflict detection semantics are identical to the map-based
+// implementation; the only observable refinement is that validation
+// now walks the read set in sorted-id order (the map version walked it
+// in Go's randomized map order), which makes the touched-node count of
+// a genuinely conflicting commit deterministic — a property the
+// model-check harness and the byte-identical golden figures rely on.
+
+// readEnt records the generation a transaction observed for a path
+// (0 = absent). The read set is kept sorted by path id.
+type readEnt struct {
+	path uint32
+	gen  uint64
+}
+
+// writeEnt is one buffered write (del means delete). The write set
+// preserves first-write order — commits apply in that order, with
+// later writes to the same path updated in place.
+type writeEnt struct {
+	path uint32
+	val  string
+	del  bool
+}
+
 type txn struct {
 	id       TxnID
 	startGen uint64
-	readGens map[string]uint64  // path → generation observed (0 = absent)
-	writes   map[string]*string // path → value; nil means delete
-	order    []string           // write application order
+	live     bool
+	reads    []readEnt
+	writes   []writeEnt
 }
 
 // Tx is the client handle for operations inside a transaction.
@@ -27,50 +62,153 @@ type txn struct {
 // writes are buffered until Commit. Any node observed or written that
 // another committer modifies in the meantime aborts the commit with
 // ErrAgain — exactly the overlap failure mode the paper blames for
-// XenStore slowdowns under load (§4.2).
+// XenStore slowdowns under load (§4.2). The id field guards against
+// stale handles: the underlying txn struct is recycled, and a handle
+// whose id no longer matches is treated as a dead transaction.
 type Tx struct {
-	s *Store
-	t *txn
+	s  *Store
+	t  *txn
+	id TxnID
+}
+
+// valid reports whether the handle still refers to its live txn.
+func (tx *Tx) valid() bool {
+	return tx.t != nil && tx.t.live && tx.t.id == tx.id
+}
+
+// pathID interns p into the store's symbol table.
+func (s *Store) pathID(p string) uint32 {
+	if id, ok := s.pathIDs[p]; ok {
+		return id
+	}
+	if s.pathIDs == nil {
+		s.pathIDs = make(map[string]uint32)
+	}
+	id := uint32(len(s.paths))
+	s.paths = append(s.paths, p)
+	s.pathIDs[p] = id
+	return id
+}
+
+// pathTabMax bounds the symbol table: when no transaction is open and
+// the table has grown past this, it is rebuilt empty (ids are only
+// meaningful within a transaction's lifetime).
+const pathTabMax = 1 << 15
+
+func (s *Store) maybeResetPaths() {
+	if len(s.openTxns) == 0 && len(s.paths) > pathTabMax {
+		s.pathIDs = nil
+		s.paths = s.paths[:0]
+	}
+}
+
+// getTxn draws a recycled txn struct or makes a fresh one.
+func (s *Store) getTxn() *txn {
+	if n := len(s.freeTxns); n > 0 {
+		t := s.freeTxns[n-1]
+		s.freeTxns[n-1] = nil
+		s.freeTxns = s.freeTxns[:n-1]
+		return t
+	}
+	return &txn{}
+}
+
+// recycleTxn closes t (commit, abort, conflict) and returns it to the
+// free list with its sets emptied.
+func (s *Store) recycleTxn(t *txn) {
+	for i, x := range s.openTxns {
+		if x == t {
+			s.openTxns = append(s.openTxns[:i], s.openTxns[i+1:]...)
+			break
+		}
+	}
+	t.live = false
+	t.reads = t.reads[:0]
+	for i := range t.writes {
+		t.writes[i] = writeEnt{} // unpin buffered value strings
+	}
+	t.writes = t.writes[:0]
+	if len(s.freeTxns) < 64 {
+		s.freeTxns = append(s.freeTxns, t)
+	}
 }
 
 // TxnStart opens a transaction.
 func (s *Store) TxnStart() *Tx {
+	s.maybeResetPaths()
 	s.nextTxn++
-	t := &txn{
-		id:       s.nextTxn,
-		startGen: s.gen,
-		readGens: make(map[string]uint64),
-		writes:   make(map[string]*string),
-	}
-	s.txns[t.id] = t
+	t := s.getTxn()
+	t.id = s.nextTxn
+	t.startGen = s.gen
+	t.live = true
+	s.openTxns = append(s.openTxns, t)
 	s.Count.TxnStarts++
 	s.chargeOp(1)
-	return &Tx{s: s, t: t}
+	return &Tx{s: s, t: t, id: t.id}
+}
+
+// findRead returns the index of id in t.reads, or the insertion point
+// with found=false. Hand-rolled binary search: no func value, no
+// bounds surprises.
+func (t *txn) findRead(id uint32) (int, bool) {
+	lo, hi := 0, len(t.reads)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.reads[mid].path < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(t.reads) && t.reads[lo].path == id
 }
 
 // observe records the generation of path at read time.
-func (tx *Tx) observe(path string) {
-	p := normalize(path)
-	if _, ok := tx.t.readGens[p]; ok {
+func (tx *Tx) observe(p string) {
+	if !tx.valid() {
 		return
 	}
-	n, _, err := tx.s.lookup(p)
-	if err != nil {
-		tx.t.readGens[p] = 0
+	id := tx.s.pathID(p)
+	t := tx.t
+	i, found := t.findRead(id)
+	if found {
 		return
 	}
-	tx.t.readGens[p] = n.gen
+	var g uint64
+	if n, _ := tx.s.resolve(p); n != nil {
+		g = n.gen
+	}
+	t.reads = append(t.reads, readEnt{})
+	copy(t.reads[i+1:], t.reads[i:])
+	t.reads[i] = readEnt{path: id, gen: g}
+}
+
+// findWrite returns the buffered write for p, or nil.
+func (tx *Tx) findWrite(p string) *writeEnt {
+	if !tx.valid() || len(tx.t.writes) == 0 {
+		return nil
+	}
+	id, ok := tx.s.pathIDs[p]
+	if !ok {
+		return nil
+	}
+	for i := range tx.t.writes {
+		if tx.t.writes[i].path == id {
+			return &tx.t.writes[i]
+		}
+	}
+	return nil
 }
 
 // Read returns the value at path as seen by the transaction.
 func (tx *Tx) Read(path string) (string, error) {
 	p := normalize(path)
-	if v, ok := tx.t.writes[p]; ok {
+	if w := tx.findWrite(p); w != nil {
 		tx.s.chargeOp(1)
-		if v == nil {
-			return "", fmt.Errorf("%w: %s", ErrNoEnt, path)
+		if w.del {
+			return "", &noEntError{path}
 		}
-		return *v, nil
+		return w.val, nil
 	}
 	tx.observe(p)
 	return tx.s.Read(p)
@@ -79,9 +217,9 @@ func (tx *Tx) Read(path string) (string, error) {
 // Exists reports whether path resolves within the transaction.
 func (tx *Tx) Exists(path string) bool {
 	p := normalize(path)
-	if v, ok := tx.t.writes[p]; ok {
+	if w := tx.findWrite(p); w != nil {
 		tx.s.chargeOp(1)
-		return v != nil
+		return !w.del
 	}
 	tx.observe(p)
 	return tx.s.Exists(p)
@@ -93,57 +231,81 @@ func (tx *Tx) Directory(path string) ([]string, error) {
 	p := normalize(path)
 	tx.observe(p)
 	names, err := tx.s.Directory(p)
-	if err != nil && len(tx.t.writes) == 0 {
-		return nil, err
+	if !tx.valid() || len(tx.t.writes) == 0 {
+		return names, err
 	}
-	set := make(map[string]bool, len(names))
-	for _, n := range names {
-		set[n] = true
+	if err != nil {
+		names = names[:0]
 	}
-	for wp, v := range tx.t.writes {
-		if !strings.HasPrefix(wp, p+"/") {
+	prefix := p + "/"
+	out := names
+	for _, w := range tx.t.writes {
+		wp := tx.s.paths[w.path]
+		if !strings.HasPrefix(wp, prefix) {
 			continue
 		}
-		rest := strings.TrimPrefix(wp, p+"/")
-		first := strings.SplitN(rest, "/", 2)[0]
-		if v == nil && rest == first {
-			delete(set, first)
-		} else if v != nil {
-			set[first] = true
+		rest := wp[len(prefix):]
+		first := rest
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			first = rest[:i]
 		}
-	}
-	out := make([]string, 0, len(set))
-	for n := range set {
-		out = append(out, n)
+		if w.del && rest == first {
+			for i, n := range out {
+				if n == first {
+					out = append(out[:i], out[i+1:]...)
+					break
+				}
+			}
+		} else if !w.del {
+			dup := false
+			for _, n := range out {
+				if n == first {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, first)
+			}
+		}
 	}
 	sort.Strings(out)
 	return out, nil
 }
 
+// put buffers a write or delete for p, preserving first-write order.
+func (tx *Tx) put(p, val string, del bool) {
+	if !tx.valid() {
+		return
+	}
+	id := tx.s.pathID(p)
+	t := tx.t
+	for i := range t.writes {
+		if t.writes[i].path == id {
+			t.writes[i].val, t.writes[i].del = val, del
+			return
+		}
+	}
+	t.writes = append(t.writes, writeEnt{path: id, val: val, del: del})
+}
+
 // Write buffers a write.
 func (tx *Tx) Write(path, value string) {
-	p := normalize(path)
-	if _, ok := tx.t.writes[p]; !ok {
-		tx.t.order = append(tx.t.order, p)
-	}
-	v := value
-	tx.t.writes[p] = &v
+	tx.put(normalize(path), value, false)
 	tx.s.chargeOp(1)
 }
 
 // Rm buffers a delete.
 func (tx *Tx) Rm(path string) {
-	p := normalize(path)
-	if _, ok := tx.t.writes[p]; !ok {
-		tx.t.order = append(tx.t.order, p)
-	}
-	tx.t.writes[p] = nil
+	tx.put(normalize(path), "", true)
 	tx.s.chargeOp(1)
 }
 
 // Abort discards the transaction.
 func (tx *Tx) Abort() {
-	delete(tx.s.txns, tx.t.id)
+	if tx.valid() {
+		tx.s.recycleTxn(tx.t)
+	}
 	tx.s.chargeOp(1)
 }
 
@@ -152,10 +314,10 @@ func (tx *Tx) Abort() {
 // callers re-run their transaction body (see Store.Txn).
 func (tx *Tx) Commit() error {
 	s := tx.s
-	t := tx.t
-	if _, ok := s.txns[t.id]; !ok {
+	if !tx.valid() {
 		return ErrBadTxn
 	}
+	t := tx.t
 	if s.Faults.Fire(faults.KindTxnConflict) {
 		// An overlapping committer got in first (§4.2's failure mode,
 		// forced): the daemon rejects the commit exactly as it would a
@@ -163,30 +325,30 @@ func (tx *Tx) Commit() error {
 		s.chargeOp(1)
 		s.Count.TxnConflicts++
 		s.Count.InjectedConflicts++
-		delete(s.txns, t.id)
+		s.recycleTxn(t)
 		return ErrAgain
 	}
 	// Validation: every read must still be at the observed generation,
 	// and every written path must not have been modified since start.
 	touched := 0
 	conflict := false
-	for p, g := range t.readGens {
+	for _, r := range t.reads {
 		touched++
-		n, _, err := s.lookup(p)
+		n, _ := s.resolve(s.paths[r.path])
 		switch {
-		case err != nil && g != 0:
+		case n == nil && r.gen != 0:
 			conflict = true // node vanished
-		case err == nil && n.gen != g:
-			conflict = true // node changed (or appeared: g==0)
+		case n != nil && n.gen != r.gen:
+			conflict = true // node changed (or appeared: gen==0)
 		}
 		if conflict {
 			break
 		}
 	}
 	if !conflict {
-		for p := range t.writes {
+		for i := range t.writes {
 			touched++
-			if n, _, err := s.lookup(p); err == nil && n.gen > t.startGen {
+			if n, _ := s.resolve(s.paths[t.writes[i].path]); n != nil && n.gen > t.startGen {
 				conflict = true
 				break
 			}
@@ -195,20 +357,20 @@ func (tx *Tx) Commit() error {
 	s.chargeOp(touched + 1)
 	if conflict {
 		s.Count.TxnConflicts++
-		delete(s.txns, t.id)
+		s.recycleTxn(t)
 		return ErrAgain
 	}
 	// Apply in order; watches fire per write, as on a real commit.
-	for _, p := range t.order {
-		v := t.writes[p]
-		if v == nil {
-			_ = s.Rm(p)
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.del {
+			_ = s.Rm(s.paths[w.path])
 		} else {
-			s.WriteAs(0, p, *v)
+			s.WriteAs(0, s.paths[w.path], w.val)
 		}
 	}
 	s.Count.TxnCommits++
-	delete(s.txns, t.id)
+	s.recycleTxn(t)
 	return nil
 }
 

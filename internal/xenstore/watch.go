@@ -25,21 +25,12 @@ type watch struct {
 // WatchID identifies a registered watch for removal.
 type WatchID int
 
-// watchBucket returns the index bucket for a watch prefix or modified
-// path: watches are bucketed by their first path segment, so a write
-// only scans the watches rooted in its own subtree instead of every
-// registered watch. Watches on "/" live in rootWatches and match
-// everything.
-func (s *Store) watchBucket(first string) []*watch {
-	if s.watchIndex == nil {
-		return nil
-	}
-	return s.watchIndex[first]
-}
-
 // Watch registers fn on path: it fires for modifications of the node
-// or anything beneath it (Xen semantics).
+// or anything beneath it (Xen semantics). Watches are indexed by their
+// full normalized prefix; buckets stay sorted by id because ids only
+// grow.
 func (s *Store) Watch(path, token string, fn WatchFn) WatchID {
+	s.batchValid = false
 	s.nextWatch++
 	w := &watch{id: s.nextWatch, prefix: normalize(path), token: token, fn: fn}
 	s.watches = append(s.watches, w)
@@ -49,8 +40,7 @@ func (s *Store) Watch(path, token string, fn WatchFn) WatchID {
 		if s.watchIndex == nil {
 			s.watchIndex = make(map[string][]*watch)
 		}
-		first := firstSegment(w.prefix)
-		s.watchIndex[first] = append(s.watchIndex[first], w)
+		s.watchIndex[w.prefix] = append(s.watchIndex[w.prefix], w)
 	}
 	s.chargeOp(1)
 	return WatchID(w.id)
@@ -62,12 +52,11 @@ func (s *Store) dropIndexed(w *watch) {
 		s.rootWatches = removeWatch(s.rootWatches, w)
 		return
 	}
-	first := firstSegment(w.prefix)
-	bucket := removeWatch(s.watchIndex[first], w)
+	bucket := removeWatch(s.watchIndex[w.prefix], w)
 	if len(bucket) == 0 {
-		delete(s.watchIndex, first)
+		delete(s.watchIndex, w.prefix)
 	} else {
-		s.watchIndex[first] = bucket
+		s.watchIndex[w.prefix] = bucket
 	}
 }
 
@@ -82,6 +71,7 @@ func removeWatch(ws []*watch, w *watch) []*watch {
 
 // Unwatch removes a watch.
 func (s *Store) Unwatch(id WatchID) {
+	s.batchValid = false
 	for i, w := range s.watches {
 		if w.id == int(id) {
 			s.watches = append(s.watches[:i], s.watches[i+1:]...)
@@ -95,6 +85,7 @@ func (s *Store) Unwatch(id WatchID) {
 // UnwatchByToken removes every watch registered with token (device
 // teardown: the netfront's watch dies with its device).
 func (s *Store) UnwatchByToken(token string) int {
+	s.batchValid = false
 	removed := 0
 	out := s.watches[:0]
 	for _, w := range s.watches {
@@ -165,31 +156,82 @@ func watchMatches(prefix, path string) bool {
 	return len(path) == len(prefix) || path[len(prefix)] == '/'
 }
 
+// mergeCandidates builds the id-ordered candidate list for a modified
+// path into the scratch buffer for the given fire-nesting depth: the
+// root bucket plus one bucket per ancestor prefix of p, k-way merged
+// by registration id so delivery order matches the historical
+// single-list scan. Per-depth buffers keep re-entrant fires (a watch
+// callback writing, which fires watches again) from clobbering an
+// iteration in progress, without allocating per fire.
+func (s *Store) mergeCandidates(depth int, p string) []*watch {
+	for len(s.fireBufs) <= depth {
+		s.fireBufs = append(s.fireBufs, nil)
+		s.mergeBufs = append(s.mergeBufs, nil)
+	}
+	bufs := s.mergeBufs[depth][:0]
+	if len(s.rootWatches) > 0 {
+		bufs = append(bufs, s.rootWatches)
+	}
+	if p != "/" && len(s.watchIndex) > 0 {
+		// Every ancestor prefix of p, including p itself.
+		for i := 1; i <= len(p); i++ {
+			if i == len(p) || p[i] == '/' {
+				if b := s.watchIndex[p[:i]]; len(b) > 0 {
+					bufs = append(bufs, b)
+				}
+			}
+		}
+	}
+	s.mergeBufs[depth] = bufs
+	buf := s.fireBufs[depth][:0]
+	for len(bufs) > 0 {
+		min := 0
+		for i := 1; i < len(bufs); i++ {
+			if bufs[i][0].id < bufs[min][0].id {
+				min = i
+			}
+		}
+		buf = append(buf, bufs[min][0])
+		if bufs[min] = bufs[min][1:]; len(bufs[min]) == 0 {
+			bufs[min] = bufs[len(bufs)-1]
+			bufs = bufs[:len(bufs)-1]
+		}
+	}
+	s.fireBufs[depth] = buf
+	return buf
+}
+
 // fireWatches delivers events for a modified path. The delivery cost
-// is charged per matching watch. Candidates come from the root bucket
-// plus the bucket of the path's first segment, merged by registration
-// id so delivery order matches the single-list implementation.
+// is charged per matching watch. Candidates are the watches registered
+// on the path's ancestors (prefix-indexed, so delivery does O(depth)
+// bucket lookups instead of scanning every watch) plus the root
+// watches, merged by registration id — every candidate matches by
+// construction.
+//
+// Delivery is batched per commit: repeated fires of the same path
+// (touched-parent notifications in a burst of writes) reuse the cached
+// depth-0 candidate list until the path changes or the watch set is
+// modified. The virtual costs and the fire order are identical to
+// merging from scratch — only the repeated merge work disappears.
 func (s *Store) fireWatches(path string) {
-	bucket := s.watchBucket(firstSegment(path))
-	if len(bucket) == 0 && len(s.rootWatches) == 0 {
+	if len(s.watchIndex) == 0 && len(s.rootWatches) == 0 {
 		return
 	}
 	p := normalize(path)
-	root := s.rootWatches
-	for len(bucket) > 0 || len(root) > 0 {
-		var w *watch
-		switch {
-		case len(bucket) == 0:
-			w, root = root[0], root[1:]
-		case len(root) == 0 || bucket[0].id < root[0].id:
-			w, bucket = bucket[0], bucket[1:]
-		default:
-			w, root = root[0], root[1:]
-		}
-		if watchMatches(w.prefix, p) {
-			s.Count.WatchFires++
-			s.clock.Sleep(sim.Duration(costs.XSWatchFire))
-			w.fn(p, w.token)
+	var cands []*watch
+	if s.fireDepth == 0 && s.batchValid && s.batchPath == p {
+		cands = s.batchCands
+	} else {
+		cands = s.mergeCandidates(s.fireDepth, p)
+		if s.fireDepth == 0 {
+			s.batchCands, s.batchPath, s.batchValid = cands, p, true
 		}
 	}
+	s.fireDepth++
+	for _, w := range cands {
+		s.Count.WatchFires++
+		s.clock.Sleep(sim.Duration(costs.XSWatchFire))
+		w.fn(p, w.token)
+	}
+	s.fireDepth--
 }

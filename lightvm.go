@@ -198,6 +198,21 @@ type SubsystemCost struct {
 	Percent float64 `json:"percent"`
 }
 
+// FunctionCost is one function's share of a figure's heap delta, with
+// the subsystem it bills to attached.
+type FunctionCost struct {
+	// Function is the fully-qualified symbol as pprof reports it.
+	Function string `json:"function"`
+	// Subsystem is the function's bucket (the store's intern and pool
+	// tables bill to "internal/xenstore" like the rest of the package).
+	Subsystem string `json:"subsystem"`
+	// Value is sampled allocated bytes.
+	Value int64 `json:"value"`
+	// Percent is the function's share of the figure's heap delta
+	// (0–100).
+	Percent float64 `json:"percent"`
+}
+
 // ExperimentProfile is the per-figure profiling report: where the raw
 // pprof files were written (open them with `go tool pprof`) and the
 // top-5 subsystems by flat CPU time and heap bytes.
@@ -211,6 +226,9 @@ type ExperimentProfile struct {
 	// pre/post alloc_space delta.
 	CPU  []SubsystemCost `json:"cpu,omitempty"`
 	Heap []SubsystemCost `json:"heap,omitempty"`
+	// HeapTopFuncs drills the heap delta down to the top-10 flat
+	// allocation sites (function-level).
+	HeapTopFuncs []FunctionCost `json:"heap_top_funcs,omitempty"`
 	// CPUTotalNanos is the figure's own sampled CPU time;
 	// CPUForeignNanos is what else landed in the raw profile (on
 	// parallel runs, concurrent unprofiled figures).
@@ -244,11 +262,16 @@ func toExperimentResult(res experiments.Result) ExperimentResult {
 			}
 			return out
 		}
+		funcs := make([]FunctionCost, len(sum.HeapTopFuncs))
+		for i, fc := range sum.HeapTopFuncs {
+			funcs[i] = FunctionCost{Function: fc.Function, Subsystem: fc.Subsystem, Value: fc.Value, Percent: fc.Percent}
+		}
 		out.Profile = &ExperimentProfile{
 			CPUFile:         sum.CPUFile,
 			HeapFile:        sum.HeapFile,
 			CPU:             costs(sum.CPU),
 			Heap:            costs(sum.Heap),
+			HeapTopFuncs:    funcs,
 			CPUTotalNanos:   sum.CPUTotalNanos,
 			CPUForeignNanos: sum.CPUForeignNanos,
 			HeapDeltaBytes:  sum.HeapDeltaBytes,
