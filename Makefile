@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke bench-compare profile-smoke fsck-smoke clean
+.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke bench-compare profile-smoke fsck-smoke gray-smoke clean
 
 # Newest checked-in benchmark report; bench-compare reruns its figures
 # and fails on regression. Override with BASELINE=path to pin another.
@@ -19,7 +19,7 @@ test:
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments ./internal/xenstore ./internal/sim ./internal/profiling ./cmd/lightvm-bench
+	$(GO) test -race ./internal/experiments ./internal/xenstore ./internal/sim ./internal/profiling ./internal/cluster ./cmd/lightvm-bench
 	$(MAKE) bench-compare
 
 # Full gate with the race detector over every package (slower than
@@ -79,6 +79,19 @@ fsck-smoke:
 	@rm -f fsck-smoke.json
 	@echo "fsck-smoke: crash churn scrubbed to zero violations"
 
+# Gray-failure gate: one small ext-gray cell (heartbeat detection,
+# lease-fenced failover) plus the cross-layer fsck audit. The generator
+# itself enforces zero double-starts and zero lease violations per
+# cell — a split-brain or a dirty post-drain state fails the command —
+# and -fsck re-audits every environment the run built.
+gray-smoke:
+	$(GO) run ./cmd/lightvm-bench -exp ext-gray -scale 0.05 -seed 3 -parallel 1 \
+		-fsck -json -out gray-smoke.json
+	@grep -q '"fsck"' gray-smoke.json \
+		|| { echo "FAIL: no fsck block in gray-smoke.json"; exit 1; }
+	@rm -f gray-smoke.json
+	@echo "gray-smoke: fenced failover with zero double-starts"
+
 # Full-scale replay of every figure with a JSON timing report.
 bench:
 	$(GO) run ./cmd/lightvm-bench -exp all -parallel 0 -json
@@ -105,5 +118,5 @@ bench-compare:
 	@rm -f bench-fresh.json
 
 clean:
-	rm -f *.cover coverage-xenstore.html fsck-smoke.json bench-fresh.json
+	rm -f *.cover coverage-xenstore.html fsck-smoke.json gray-smoke.json bench-fresh.json
 	rm -rf profiles

@@ -4,12 +4,28 @@
 // enter and leave the cell continuously, so it is critical to be able
 // to instantiate, terminate and migrate personal firewalls quickly and
 // cheaply, following the user through the mobile network".
+//
+// Beyond the paper's clean-failure model (FailHost/Failover), the
+// cluster carries a gray-failure plane: a heartbeat health monitor
+// (health.go) that detects slow, partitioned and flapping members on
+// the virtual clock, and an epoch/lease fence (toolstack/lease.go)
+// that keeps detection mistakes from ever double-running a domain.
+//
+// Locking: every public method takes c.mu; internal *Locked helpers
+// assume it is held. The virtual clock must only be advanced while
+// holding c.mu once the health monitor is enabled (use Idle for pure
+// waiting) — timer callbacks then always run under the lock of the
+// goroutine advancing the clock, so they use the *Locked helpers
+// directly. Lease epochs live under the separate leaseMu so the
+// toolstack's fence callbacks (invoked from scrub/destroy paths that
+// already run under c.mu) never re-enter it.
 package cluster
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"lightvm/internal/core"
@@ -27,16 +43,39 @@ var (
 	ErrUnknownVM     = errors.New("cluster: unknown VM")
 	ErrDuplicateHost = errors.New("cluster: duplicate host")
 	ErrHostFailed    = errors.New("cluster: host has failed")
+	// ErrClusterSaturated is backpressure: members exist but none is
+	// healthy enough to take the work — every candidate is suspect,
+	// dead or quarantined. Callers should retry later rather than pile
+	// onto degraded capacity.
+	ErrClusterSaturated = errors.New("cluster: no healthy host (saturated)")
+	// ErrPartitioned rejects an operation that needs a cut edge of the
+	// reachability matrix (e.g. migrating between partitioned hosts).
+	ErrPartitioned = errors.New("cluster: hosts partitioned")
 )
 
 // Cluster is a set of hosts on one clock with a VM placement table.
 type Cluster struct {
 	Clock *sim.Clock
 
+	mu        sync.Mutex
 	hosts     map[string]*core.Host
 	hostNames []string          // insertion order, for deterministic placement
 	placement map[string]string // VM name → host name
 	failed    map[string]bool   // hosts marked dead by FailHost
+	hostMode  map[string]toolstack.Mode
+
+	health *healthMonitor // nil until EnableHealth
+	// opDepth counts cluster operations currently in the toolstack /
+	// core layers (create, migrate, destroy, scrub). Health ticks that
+	// fire from a clock advance nested inside one of those operations
+	// must not run a pass — the pass could re-enter a component lock
+	// the operation already holds — so healthTick skips while > 0.
+	opDepth int
+
+	// leaseMu guards epochs alone: the authoritative per-VM placement
+	// epoch the toolstack fence validates claims against.
+	leaseMu sync.Mutex
+	epochs  map[string]uint64
 }
 
 // New creates an empty cluster on clock.
@@ -46,11 +85,15 @@ func New(clock *sim.Clock) *Cluster {
 		hosts:     make(map[string]*core.Host),
 		placement: make(map[string]string),
 		failed:    make(map[string]bool),
+		hostMode:  make(map[string]toolstack.Mode),
+		epochs:    make(map[string]uint64),
 	}
 }
 
 // AddHost brings a machine into the cluster.
 func (c *Cluster) AddHost(name string, machine sched.Machine, seed uint64) (*core.Host, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.hosts[name]; dup {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateHost, name)
 	}
@@ -60,11 +103,21 @@ func (c *Cluster) AddHost(name string, machine sched.Machine, seed uint64) (*cor
 	}
 	c.hosts[name] = h
 	c.hostNames = append(c.hostNames, name)
+	if c.health != nil {
+		c.health.addHost(name, c.Clock.Now())
+		c.armLeaseLocked(name)
+	}
 	return h, nil
 }
 
 // Host returns a member by name.
 func (c *Cluster) Host(name string) (*core.Host, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hostLocked(name)
+}
+
+func (c *Cluster) hostLocked(name string) (*core.Host, error) {
 	h, ok := c.hosts[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, name)
@@ -76,10 +129,16 @@ func (c *Cluster) Host(name string) (*core.Host, error) {
 }
 
 // Hosts lists member names in join order.
-func (c *Cluster) Hosts() []string { return append([]string(nil), c.hostNames...) }
+func (c *Cluster) Hosts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.hostNames...)
+}
 
 // HostOf reports where a VM runs.
 func (c *Cluster) HostOf(vmName string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	host, ok := c.placement[vmName]
 	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrUnknownVM, vmName)
@@ -88,16 +147,33 @@ func (c *Cluster) HostOf(vmName string) (string, error) {
 }
 
 // VMs reports the cluster-wide guest count.
-func (c *Cluster) VMs() int { return len(c.placement) }
+func (c *Cluster) VMs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.placement)
+}
 
-// pick returns candidate hosts ordered by load: fewest VMs first,
-// most free memory as the tie-breaker, join order as the final tie.
-func (c *Cluster) pick() []string {
+// Idle advances the cluster's clock by d while holding its lock, so
+// health-monitor ticks observe a consistent placement table. Drivers
+// of a health-enabled cluster pass virtual time through Idle (or any
+// other Cluster method), never Clock.Sleep directly.
+func (c *Cluster) Idle(d sim.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Clock.Sleep(d)
+}
+
+// pickLocked returns candidate hosts ordered by load: fewest VMs
+// first, most free memory as the tie-breaker, join order as the final
+// tie. Failed members are out; so is anything the health monitor holds
+// in a non-alive state (suspect, dead, quarantined).
+func (c *Cluster) pickLocked() []string {
 	names := make([]string, 0, len(c.hostNames))
 	for _, n := range c.hostNames {
-		if !c.failed[n] {
-			names = append(names, n)
+		if c.failed[n] || c.healthStateLocked(n) != HealthAlive {
+			continue
 		}
+		names = append(names, n)
 	}
 	sort.SliceStable(names, func(i, j int) bool {
 		hi, hj := c.hosts[names[i]], c.hosts[names[j]]
@@ -109,20 +185,45 @@ func (c *Cluster) pick() []string {
 	return names
 }
 
-// Place creates a VM on the least-loaded host, falling back to the
-// next candidate if a host is out of resources. It returns the VM and
-// the host it landed on.
-func (c *Cluster) Place(mode toolstack.Mode, vmName string, img guest.Image) (*toolstack.VM, string, error) {
-	cands := c.pick()
-	if len(cands) == 0 {
-		return nil, "", ErrNoHosts
+// degradedLocked reports whether any live member was excluded from
+// placement for health reasons — the condition that turns "no hosts"
+// into "saturated, try later".
+func (c *Cluster) degradedLocked() bool {
+	for _, n := range c.hostNames {
+		if !c.failed[n] && c.healthStateLocked(n) != HealthAlive {
+			return true
+		}
 	}
+	return false
+}
+
+// Place creates a VM on the least-loaded healthy host, falling back to
+// the next candidate if a host is out of resources. It returns the VM
+// and the host it landed on; ErrClusterSaturated when only degraded
+// capacity remains.
+func (c *Cluster) Place(mode toolstack.Mode, vmName string, img guest.Image) (*toolstack.VM, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.placeLocked(mode, vmName, img)
+}
+
+func (c *Cluster) placeLocked(mode toolstack.Mode, vmName string, img guest.Image) (*toolstack.VM, string, error) {
 	if _, dup := c.placement[vmName]; dup {
 		return nil, "", fmt.Errorf("cluster: VM %q already placed", vmName)
 	}
+	cands := c.pickLocked()
+	if len(cands) == 0 {
+		if c.degradedLocked() {
+			return nil, "", fmt.Errorf("%w: placing %q", ErrClusterSaturated, vmName)
+		}
+		return nil, "", ErrNoHosts
+	}
+	c.opDepth++
+	defer func() { c.opDepth-- }()
 	var lastErr error
 	for _, name := range cands {
 		h := c.hosts[name]
+		start := c.Clock.Now()
 		if err := h.EnsureFlavor(img, mode); err != nil {
 			lastErr = err
 			continue
@@ -132,21 +233,42 @@ func (c *Cluster) Place(mode toolstack.Mode, vmName string, img guest.Image) (*t
 			lastErr = err
 			continue
 		}
+		c.chargeSlowLocked(start, name)
 		c.placement[vmName] = name
+		c.grantLeaseLocked(name, vmName, mode)
 		return vm, name, nil
 	}
 	return nil, "", fmt.Errorf("cluster: no host could place %q: %w", vmName, lastErr)
 }
 
 // Move live-migrates a VM to another host (the subscriber handover).
+// Both endpoints must be healthy: a failed or dead-declared source is
+// rejected with ErrHostFailed (there is nothing trustworthy to migrate
+// from), a degraded destination with ErrClusterSaturated, and a cut
+// source↔destination edge with ErrPartitioned.
 func (c *Cluster) Move(vmName, dstName string) (time.Duration, error) {
-	srcName, err := c.HostOf(vmName)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.moveLocked(vmName, dstName)
+}
+
+func (c *Cluster) moveLocked(vmName, dstName string) (time.Duration, error) {
+	srcName, ok := c.placement[vmName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownVM, vmName)
+	}
+	if c.failed[srcName] || c.healthStateLocked(srcName) == HealthDead {
+		return 0, fmt.Errorf("%w: source %q", ErrHostFailed, srcName)
+	}
+	dst, err := c.hostLocked(dstName)
 	if err != nil {
 		return 0, err
 	}
-	dst, err := c.Host(dstName)
-	if err != nil {
-		return 0, err
+	if st := c.healthStateLocked(dstName); st != HealthAlive {
+		return 0, fmt.Errorf("%w: destination %q is %s", ErrClusterSaturated, dstName, st)
+	}
+	if !c.reachableLocked(srcName, dstName) {
+		return 0, fmt.Errorf("%w: %q and %q", ErrPartitioned, srcName, dstName)
 	}
 	if srcName == dstName {
 		return 0, fmt.Errorf("cluster: VM %q already on %q", vmName, dstName)
@@ -156,28 +278,44 @@ func (c *Cluster) Move(vmName, dstName string) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	c.opDepth++
+	defer func() { c.opDepth-- }()
+	start := c.Clock.Now()
 	_, d, err := src.MigrateTo(dst, vm)
 	if err != nil {
 		return 0, err
 	}
+	c.chargeSlowLocked(start, srcName, dstName)
+	src.Env.RevokeLease(vmName, vm.Mode.UsesStore())
 	c.placement[vmName] = dstName
+	c.grantLeaseLocked(dstName, vmName, vm.Mode)
 	return d, nil
 }
 
 // Destroy removes a VM wherever it runs.
 func (c *Cluster) Destroy(vmName string) error {
-	hostName, err := c.HostOf(vmName)
-	if err != nil {
-		return err
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hostName, ok := c.placement[vmName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVM, vmName)
 	}
 	h := c.hosts[hostName]
 	vm, err := h.Env.VM(vmName)
 	if err != nil {
 		return err
 	}
-	if err := h.DestroyVM(vm); err != nil {
+	mode := vm.Mode
+	c.opDepth++
+	err = h.DestroyVM(vm)
+	c.opDepth--
+	if err != nil {
 		return err
 	}
+	h.Env.RevokeLease(vmName, mode.UsesStore())
+	c.leaseMu.Lock()
+	delete(c.epochs, vmName)
+	c.leaseMu.Unlock()
 	delete(c.placement, vmName)
 	return nil
 }
@@ -195,6 +333,8 @@ type LostVM struct {
 // reject it with ErrHostFailed. The lost VMs' descriptors are returned
 // sorted by name, ready for Failover.
 func (c *Cluster) FailHost(name string) ([]LostVM, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	h, ok := c.hosts[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, name)
@@ -216,19 +356,30 @@ func (c *Cluster) FailHost(name string) ([]LostVM, error) {
 }
 
 // Failed reports whether a member has been marked dead.
-func (c *Cluster) Failed(name string) bool { return c.failed[name] }
+func (c *Cluster) Failed(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failed[name]
+}
 
 // Failover re-instantiates the lost VMs on the surviving members via
 // the usual least-loaded placement, after charging the failure
 // detection delay. It returns the total recovery time (detection plus
 // re-creation) and how many VMs came back; a placement error aborts
-// the sweep with the partial count.
+// the sweep with the partial count. Failover is idempotent: VMs that
+// are already placed again (a concurrent Place, a monitor-driven
+// recovery, or a repeated call) are skipped, not errors.
 func (c *Cluster) Failover(lost []LostVM) (time.Duration, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	start := c.Clock.Now()
 	c.Clock.Sleep(costs.HostFailureDetect)
 	recovered := 0
 	for _, l := range lost {
-		if _, _, err := c.Place(l.Mode, l.Name, l.Image); err != nil {
+		if _, placed := c.placement[l.Name]; placed {
+			continue
+		}
+		if _, _, err := c.placeLocked(l.Mode, l.Name, l.Image); err != nil {
 			return time.Duration(c.Clock.Now().Sub(start)), recovered,
 				fmt.Errorf("cluster: failover of %q: %w", l.Name, err)
 		}
@@ -247,6 +398,8 @@ type HostStat struct {
 
 // Stats summarizes every live member in join order.
 func (c *Cluster) Stats() []HostStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]HostStat, 0, len(c.hostNames))
 	for _, name := range c.hostNames {
 		if c.failed[name] {
@@ -266,10 +419,13 @@ func (c *Cluster) Stats() []HostStat {
 // Rebalance migrates VMs from the most- to the least-loaded host until
 // their VM counts differ by at most one, returning the number of moves
 // (a maintenance operation LightVM's 60 ms migrations make routine).
+// Only healthy hosts participate on either end.
 func (c *Cluster) Rebalance(maxMoves int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	moves := 0
 	for moves < maxMoves {
-		order := c.pick()
+		order := c.pickLocked()
 		if len(order) < 2 {
 			return moves, nil
 		}
@@ -282,10 +438,39 @@ func (c *Cluster) Rebalance(maxMoves int) (int, error) {
 		if len(vms) == 0 {
 			return moves, nil
 		}
-		if _, err := c.Move(vms[0].Name, least); err != nil {
+		if _, err := c.moveLocked(vms[0].Name, least); err != nil {
 			return moves, err
 		}
 		moves++
 	}
 	return moves, nil
+}
+
+// grantLeaseLocked bumps the VM's placement epoch and records the new
+// owner's claim durably in its intent journal. A no-op until the
+// health monitor (and with it the lease fence) is enabled, so
+// fault-free timelines are untouched.
+func (c *Cluster) grantLeaseLocked(hostName, vmName string, mode toolstack.Mode) {
+	if c.health == nil {
+		return
+	}
+	c.hostMode[hostName] = mode
+	c.leaseMu.Lock()
+	e := c.epochs[vmName] + 1
+	c.epochs[vmName] = e
+	c.leaseMu.Unlock()
+	c.hosts[hostName].Env.GrantLease(vmName, e, mode.UsesStore())
+}
+
+// armLeaseLocked attaches the epoch validator to one member's Dom0:
+// the fence the toolstack consults on destroy/migrate/scrub. It takes
+// only leaseMu, so it is safe from any toolstack path running under
+// c.mu.
+func (c *Cluster) armLeaseLocked(name string) {
+	c.hosts[name].Env.LeaseCheck = func(vmName string, epoch uint64) bool {
+		c.leaseMu.Lock()
+		defer c.leaseMu.Unlock()
+		cur, ok := c.epochs[vmName]
+		return ok && epoch == cur
+	}
 }

@@ -375,6 +375,54 @@ const (
 )
 
 // ---------------------------------------------------------------------------
+// Gray-failure plane (cluster health monitor). Defaults for the
+// heartbeat protocol and the deterministic shapes of the three gray
+// fault kinds; ext-gray sweeps the detection timeout around these.
+// ---------------------------------------------------------------------------
+
+const (
+	// HeartbeatPeriod is the interval at which every member reports to
+	// the cluster's health monitor (a 100 ms gossip/ping cadence, the
+	// order real fleet agents use).
+	HeartbeatPeriod = 100 * time.Millisecond
+
+	// HeartbeatSuspect is the default silence after which a member is
+	// suspected and excluded from new placements (but keeps its VMs).
+	HeartbeatSuspect = 300 * time.Millisecond
+
+	// HeartbeatDead is the default silence after which a suspect is
+	// declared dead and its VMs failed over. ext-gray sweeps this — it
+	// is the availability-vs-false-positive knob.
+	HeartbeatDead = 1200 * time.Millisecond
+
+	// GrayFlapMin/GrayFlapExtra bound a host-flap outage: the victim is
+	// silent for GrayFlapMin plus a seeded jitter in [0, GrayFlapExtra),
+	// then returns as if nothing happened.
+	GrayFlapMin   = 500 * time.Millisecond
+	GrayFlapExtra = 2500 * time.Millisecond
+
+	// GrayPartitionMin/GrayPartitionExtra bound how long one edge of
+	// the reachability matrix stays cut.
+	GrayPartitionMin   = 800 * time.Millisecond
+	GrayPartitionExtra = 3 * time.Second
+
+	// GraySlowMin/GraySlowExtra bound a slow-host episode; while it
+	// lasts, the victim's control-plane work and heartbeat delivery are
+	// dilated by a factor in [GraySlowFactorMin, GraySlowFactorMax).
+	GraySlowMin   = 400 * time.Millisecond
+	GraySlowExtra = 2 * time.Second
+)
+
+// GraySlowFactorMin/GraySlowFactorMax bound the slow-host dilation
+// factor (2× is a failing disk's metadata path; 8× approaches — but
+// deliberately does not reach, under the default timeouts — looking
+// dead).
+const (
+	GraySlowFactorMin = 2.0
+	GraySlowFactorMax = 8.0
+)
+
+// ---------------------------------------------------------------------------
 // Scheduling & idle load (Fig. 11, Fig. 15).
 // ---------------------------------------------------------------------------
 

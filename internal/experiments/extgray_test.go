@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestExtGrayShape checks the policy trade-off the table exists to
+// show, plus the two safety gates. Zero double-starts and zero fsck
+// violations are enforced inside the generator itself — a cell that
+// double-runs a domain or ends dirty fails the run, so a passing
+// table IS the split-brain-safety proof.
+func TestExtGrayShape(t *testing.T) {
+	res, err := Run("ext-gray", smallOpts)
+	if err != nil {
+		t.Fatalf("Run(ext-gray): %v", err)
+	}
+	tab := runTableOf(t, res)
+
+	rates := col(t, tab, "rate")
+	for _, m := range []string{"xl", "chaos"} {
+		dbl := col(t, tab, m+"_double")
+		fp := col(t, tab, m+"_falsepos")
+		p50 := col(t, tab, m+"_unavail_p50_ms")
+		p99 := col(t, tab, m+"_unavail_p99_ms")
+		sawUnavail := false
+		for i := range rates {
+			// The fence invariant, per cell, per mode.
+			if dbl[i] != 0 {
+				t.Fatalf("%s double-starts at row %d: %v", m, i, dbl[i])
+			}
+			// Rate 0 is the regression anchor: nothing to detect, so
+			// nothing may fail over or misfire.
+			if rates[i] == 0 && (fp[i] != 0 || p99[i] != 0) {
+				t.Fatalf("%s rate-0 row %d not quiet: falsepos=%v p99=%v", m, i, fp[i], p99[i])
+			}
+			if p99[i] < p50[i] {
+				t.Fatalf("%s p99 < p50 at row %d", m, i)
+			}
+			if p99[i] > 0 {
+				sawUnavail = true
+			}
+		}
+		if !sawUnavail {
+			t.Fatalf("%s: no recovery windows anywhere — the gray plane never bit", m)
+		}
+	}
+}
+
+// TestExtGrayDeterministic is the acceptance gate: the same seed must
+// produce a byte-identical table — monitor ticks, gray-fault draws,
+// failover sweeps and all.
+func TestExtGrayDeterministic(t *testing.T) {
+	render := func() string {
+		res, err := Run("ext-gray", smallOpts)
+		if err != nil {
+			t.Fatalf("Run(ext-gray): %v", err)
+		}
+		return res.Table.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("same seed, different table:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}

@@ -63,6 +63,27 @@ const (
 	// because only crash-aware drivers (ext-churn, the fsck tests) can
 	// survive an operation that deliberately leaks.
 	KindToolstackCrash
+	// KindHostSlow degrades a host instead of killing it: control-plane
+	// work on the victim is dilated by a deterministic factor and its
+	// heartbeats arrive late (site: cluster health monitor). Recovery:
+	// none needed on the host — the monitor's job is to suspect it and
+	// route placements elsewhere without a false dead declaration.
+	KindHostSlow
+	// KindPartition cuts one edge of the cluster's pairwise
+	// reachability matrix for a while — host↔controller (heartbeats
+	// lost, the host looks dead while its guests keep running) or
+	// host↔host (migrations between them fail). Recovery: the lease
+	// fence — a partitioned host declared dead must not double-run
+	// domains that were failed over, and self-scrubs when the edge
+	// heals.
+	KindPartition
+	// KindHostFlap silences a host completely, then lets it return as
+	// if nothing happened (site: cluster health monitor). The nastiest
+	// gray failure: detection must be fast enough to restore the
+	// guests, yet the returner must be fenced and the circuit breaker
+	// must quarantine repeat offenders instead of flapping placements
+	// back and forth.
+	KindHostFlap
 
 	numKinds
 )
@@ -70,7 +91,7 @@ const (
 var kindNames = [...]string{
 	"txn-conflict", "store-stall", "handshake-stall",
 	"migration-drop", "daemon-crash", "host-failure",
-	"toolstack-crash",
+	"toolstack-crash", "host-slow", "partition", "host-flap",
 }
 
 func (k Kind) String() string {

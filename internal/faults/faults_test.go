@@ -238,3 +238,122 @@ func TestFireSiteDisabledAllocatesNothing(t *testing.T) {
 		t.Fatal("nil injector not inert for site API")
 	}
 }
+
+func TestWindowEdgeCases(t *testing.T) {
+	var zero Window
+	for _, at := range []sim.Time{0, 1, sim.Time(time.Hour)} {
+		if !zero.Contains(at) {
+			t.Fatalf("zero window should always be active (t=%v)", at)
+		}
+	}
+	// Zero-width window: active at exactly one instant.
+	at := sim.Time(500 * time.Millisecond)
+	w := Window{From: at, To: at}
+	if !w.Contains(at) {
+		t.Fatal("zero-width window rejects its own instant")
+	}
+	if w.Contains(at-1) || w.Contains(at+1) {
+		t.Fatal("zero-width window leaks outside its instant")
+	}
+	// To == 0 is open-ended, not empty.
+	open := Window{From: at}
+	if open.Contains(at-1) || !open.Contains(at) || !open.Contains(sim.Time(time.Hour)) {
+		t.Fatal("open-ended window miscomputed")
+	}
+}
+
+func TestWindowEntirelyPastNeverFires(t *testing.T) {
+	clk := sim.NewClock()
+	w := Window{From: sim.Time(time.Millisecond), To: sim.Time(2 * time.Millisecond)}
+	in := New(clk, 9, Plan{Rate: 1, Window: w})
+	clk.Sleep(time.Second) // now well past the window
+	for i := 0; i < 1000; i++ {
+		for _, k := range AllKinds() {
+			if in.Fire(k) {
+				t.Fatalf("rate-1 plan fired outside its window (%v)", k)
+			}
+		}
+	}
+	if in.TotalInjected() != 0 {
+		t.Fatalf("injected count %d outside window", in.TotalInjected())
+	}
+	// Opportunities are still consumed: the stream position does not
+	// depend on the window, so schedules stay comparable across windows.
+	if in.Opportunities(KindHostFlap) != 1000 {
+		t.Fatalf("opportunities = %d, want 1000", in.Opportunities(KindHostFlap))
+	}
+}
+
+func TestZeroWidthWindowFiresOnlyAtInstant(t *testing.T) {
+	clk := sim.NewClock()
+	at := sim.Time(time.Second)
+	in := New(clk, 11, Plan{Rate: 1, Window: Window{From: at, To: at}})
+	if in.Fire(KindHostSlow) {
+		t.Fatal("fired before the window instant")
+	}
+	clk.Sleep(time.Second)
+	if !in.Fire(KindHostSlow) {
+		t.Fatal("rate-1 plan must fire at the window instant")
+	}
+	clk.Sleep(1)
+	if in.Fire(KindHostSlow) {
+		t.Fatal("fired after the window instant")
+	}
+}
+
+func TestGrayKindNamesAndDefaultMask(t *testing.T) {
+	want := map[Kind]string{
+		KindHostSlow:  "host-slow",
+		KindPartition: "partition",
+		KindHostFlap:  "host-flap",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), name)
+		}
+	}
+	// Gray kinds ride the default mask (safe: only the health monitor
+	// consults them), while toolstack crashes still require naming.
+	in := New(sim.NewClock(), 3, Plan{Rate: 0.5})
+	for k := range want {
+		if !in.Enabled(k) {
+			t.Fatalf("%v not enabled by the empty-Kinds mask", k)
+		}
+	}
+	if in.Enabled(KindToolstackCrash) {
+		t.Fatal("toolstack crash enabled without being named")
+	}
+}
+
+func TestSiteAllowedRestrictsGrayKinds(t *testing.T) {
+	gray := []Kind{KindHostSlow, KindPartition, KindHostFlap}
+	in := New(sim.NewClock(), 5, Plan{Rate: 1, Kinds: gray, Sites: []string{"cell-0"}})
+	for _, k := range gray {
+		if !in.FireSite(k, "cell-0") {
+			t.Fatalf("rate-1 allowed site did not fire (%v)", k)
+		}
+		if in.FireSite(k, "cell-1") {
+			t.Fatalf("site outside Plan.Sites fired (%v)", k)
+		}
+	}
+	// Excluded sites count opportunities but consume no stream
+	// position: the allowed site's schedule is unperturbed.
+	ref := New(sim.NewClock(), 5, Plan{Rate: 1, Kinds: gray})
+	ref.Fire(KindHostFlap) // consume position 0, matching the allowed fire above
+	a, b := in.Fire(KindHostFlap), ref.Fire(KindHostFlap)
+	if a != b {
+		t.Fatal("excluded site perturbed the decision stream")
+	}
+	for _, st := range in.SiteStats() {
+		switch st.Site {
+		case "cell-0":
+			if st.Injected == 0 {
+				t.Fatal("allowed site recorded no injections")
+			}
+		case "cell-1":
+			if st.Opportunities == 0 || st.Injected != 0 {
+				t.Fatalf("excluded site stats: %+v", st)
+			}
+		}
+	}
+}

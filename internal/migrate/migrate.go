@@ -417,6 +417,11 @@ func Migrate(src, dst *toolstack.Env, vm *toolstack.VM) (*toolstack.VM, time.Dur
 	if src.Clock != dst.Clock {
 		return nil, 0, fmt.Errorf("migrate: source and target must share a clock")
 	}
+	// Ownership fence: a source whose lease epoch is stale no longer
+	// owns the domain (it was failed over) and must not ship it.
+	if err := src.CheckLease(vm.Name); err != nil {
+		return nil, 0, err
+	}
 	// The target host runs the same toolstack configuration; this also
 	// selects the right hotplug mechanism for pre-created devices.
 	_ = dst.ForMode(vm.Mode)

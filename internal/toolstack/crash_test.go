@@ -69,7 +69,7 @@ func TestCrashPointsRecoverable(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.mode.String()+"/"+tc.site, func(t *testing.T) {
-			e, _ := crashSiteEnv(t,tc.site)
+			e, _ := crashSiteEnv(t, tc.site)
 			drv := e.ForMode(tc.mode)
 			img := guest.Daytime()
 
@@ -129,7 +129,7 @@ func TestCrashPointsRecoverable(t *testing.T) {
 // and the scrubber finishes the teardown (roll-forward) rather than
 // resurrecting the guest.
 func TestDestroyCrashRollsForward(t *testing.T) {
-	e, _ := crashSiteEnv(t,"chaos.destroy.hv")
+	e, _ := crashSiteEnv(t, "chaos.destroy.hv")
 	drv := e.ForMode(ModeChaosNoXS)
 	vm, err := drv.Create("fwd", guest.Daytime())
 	if err != nil {
@@ -160,7 +160,7 @@ func TestCloneCrashRecoverable(t *testing.T) {
 	for _, site := range []string{"clone.begin", "clone.hv", "clone.devices", "clone.finalize"} {
 		site := site
 		t.Run(site, func(t *testing.T) {
-			e, _ := crashSiteEnv(t,site)
+			e, _ := crashSiteEnv(t, site)
 			drv := e.ForMode(ModeChaosNoXS)
 			parent, err := drv.Create("parent", guest.Daytime())
 			if err != nil {
