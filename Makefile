@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke bench-compare profile-smoke fsck-smoke gray-smoke clean
+.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke bench-compare profile-smoke fsck-smoke gray-smoke cluster-smoke clean
 
 # Newest checked-in benchmark report; bench-compare reruns its figures
 # and fails on regression. Override with BASELINE=path to pin another.
@@ -92,6 +92,16 @@ gray-smoke:
 	@rm -f gray-smoke.json
 	@echo "gray-smoke: fenced failover with zero double-starts"
 
+# Sharded-cluster gate: ext-cluster at small scale — the full
+# controller/agent protocol (placement waves, heartbeat-detected
+# failover, fenced re-placement, live migration) on the parallel
+# engine, swept over worker counts 1/2/8 with the in-run byte-equality
+# check, then the cross-layer fsck audit over every environment the
+# run built. Determinism or invariant violations fail the command.
+cluster-smoke:
+	$(GO) run ./cmd/lightvm-bench -exp ext-cluster -scale 0.02 -seed 1 -parallel 1 -fsck
+	@echo "cluster-smoke: sharded churn byte-identical across engine worker counts"
+
 # Full-scale replay of every figure with a JSON timing report.
 bench:
 	$(GO) run ./cmd/lightvm-bench -exp all -parallel 0 -json
@@ -110,10 +120,13 @@ bench-smoke:
 # exact rather than sampled; the wall threshold is generous because CI
 # runners jitter, while allocation counts are deterministic and gated
 # tightly.
+# -shards 2 pins the sharded-cluster figures to one engine worker
+# count: their tables are identical at every count (gated elsewhere),
+# and skipping the in-run 1/2/8 sweep keeps the gate fast.
 bench-compare:
 	@[ -n "$(BASELINE)" ] || { echo "bench-compare: no BENCH_*.json baseline checked in"; exit 1; }
 	@echo "bench-compare: baseline $(BASELINE)"
-	$(GO) run ./cmd/lightvm-bench -exp all -scale 0.05 -seed 1 -parallel 1 -json -out bench-fresh.json
+	$(GO) run ./cmd/lightvm-bench -exp all -scale 0.05 -seed 1 -parallel 1 -shards 2 -json -out bench-fresh.json
 	$(GO) run ./cmd/benchdiff -max-wall 75 -max-alloc 10 $(BASELINE) bench-fresh.json
 	@rm -f bench-fresh.json
 

@@ -34,6 +34,7 @@ type report struct {
 	Scale    float64  `json:"scale"`
 	Seed     uint64   `json:"seed"`
 	Parallel int      `json:"parallel"`
+	Shards   int      `json:"shards,omitempty"`
 	Figures  []figure `json:"figures"`
 }
 
@@ -132,9 +133,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2
 	}
-	if oldR.Scale != newR.Scale || oldR.Seed != newR.Seed || oldR.Parallel != newR.Parallel {
-		msg := fmt.Sprintf("benchdiff: reports not comparable: old scale=%g seed=%d parallel=%d, new scale=%g seed=%d parallel=%d",
-			oldR.Scale, oldR.Seed, oldR.Parallel, newR.Scale, newR.Seed, newR.Parallel)
+	if oldR.Scale != newR.Scale || oldR.Seed != newR.Seed || oldR.Parallel != newR.Parallel || oldR.Shards != newR.Shards {
+		msg := fmt.Sprintf("benchdiff: reports not comparable: old scale=%g seed=%d parallel=%d shards=%d, new scale=%g seed=%d parallel=%d shards=%d",
+			oldR.Scale, oldR.Seed, oldR.Parallel, oldR.Shards, newR.Scale, newR.Seed, newR.Parallel, newR.Shards)
 		if !*force {
 			fmt.Fprintln(stderr, msg, "(use -force to override)")
 			return 2

@@ -61,6 +61,7 @@ type benchReport struct {
 	Scale       float64       `json:"scale"`
 	Seed        uint64        `json:"seed"`
 	Parallel    int           `json:"parallel"`
+	Shards      int           `json:"shards,omitempty"`
 	TotalWallMS float64       `json:"total_wall_ms"`
 	Figures     []benchFigure `json:"figures"`
 	Fsck        *benchFsck    `json:"fsck,omitempty"`
@@ -80,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Float64("scale", 1.0, "guest-count scale relative to the paper (1.0 = full)")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = one per core, 1 = sequential)")
+	shards := fs.Int("shards", 0, "engine worker count for sharded-cluster figures (0 = sweep 1/2/8 with in-run equality check)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	plot := fs.Bool("plot", false, "render each figure as an ASCII chart too")
 	jsonOut := fs.Bool("json", false, "write per-figure timings to BENCH_<date>.json (see -out)")
@@ -100,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := lightvm.ExperimentOptions{
-		Scale: *scale, Seed: *seed, Parallel: *parallel,
+		Scale: *scale, Seed: *seed, Parallel: *parallel, Shards: *shards,
 		ProfileDir: *profileDir,
 	}
 	if *profile != "" {
@@ -177,6 +179,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Scale:       *scale,
 			Seed:        *seed,
 			Parallel:    *parallel,
+			Shards:      *shards,
 			TotalWallMS: float64(total) / 1e6,
 		}
 		report.Fsck = fsckRes

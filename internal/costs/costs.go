@@ -372,6 +372,15 @@ const (
 	// until surviving hosts declare a silent member dead and start
 	// failover (§7.1's placement re-instantiates its VMs).
 	HostFailureDetect = 1500 * time.Millisecond
+
+	// ClusterLookahead is the one-way control-network latency between
+	// datacenter cluster members — scheduler→host commands, host→
+	// scheduler reports, host→host checkpoint streams all pay at least
+	// this much. It doubles as the sharded sim core's conservative
+	// lookahead (sim.Engine): no cross-host interaction can complete
+	// in less, which is exactly what lets per-host timelines run in
+	// parallel between synchronization points.
+	ClusterLookahead = 1 * time.Millisecond
 )
 
 // ---------------------------------------------------------------------------

@@ -35,6 +35,13 @@ type Options struct {
 	// series owns its clock, host and RNG, and output assembly is
 	// deterministic.
 	Parallel int
+	// Shards fixes the engine worker count for figures built on the
+	// sharded cluster core (ext-cluster). 0 runs the figure's default
+	// sweep over worker counts {1, 2, 8} with an in-run byte-equality
+	// check between them; any explicit value runs once at that count.
+	// Either way the table is identical — the worker count is an
+	// execution detail of the conservative engine, never a model input.
+	Shards int
 	// Profile selects per-figure pprof capture (CPU/heap profiles per
 	// generator plus a subsystem attribution summary on Result.Profile;
 	// see profile.go). Zero value = no profiling.

@@ -32,7 +32,23 @@ var goldenOptions = Options{Scale: 0.05, Seed: 1, Samples: 8, Parallel: 1}
 
 // goldenFigures are the curves the COW-store work must not move
 // unintentionally.
-var goldenFigures = []string{"fig12a", "fig12b", "fig15", "ext-clone"}
+var goldenFigures = []string{"fig12a", "fig12b", "fig15", "ext-clone", "ext-cluster"}
+
+// goldenOverrides replaces goldenOptions for figures whose default
+// golden configuration would be too slow: ext-cluster at scale 0.05
+// sweeps three worker counts over 50k domains, so its golden pins one
+// worker count (the table is identical at every count — that is what
+// TestShardDeterminismAcrossWorkerCounts proves) and a smaller fleet.
+var goldenOverrides = map[string]Options{
+	"ext-cluster": {Scale: 0.02, Seed: 1, Samples: 8, Parallel: 1, Shards: 2},
+}
+
+func goldenOpts(id string) Options {
+	if o, ok := goldenOverrides[id]; ok {
+		return o
+	}
+	return goldenOptions
+}
 
 // goldenDoc is the canonical JSON schema for one figure: everything
 // deterministic about a run (virtual time and the full table), nothing
@@ -50,13 +66,25 @@ type goldenDoc struct {
 // renderGolden runs one figure and encodes its deterministic content.
 func renderGolden(t *testing.T, id string) []byte {
 	t.Helper()
-	res, err := Run(id, goldenOptions)
+	return renderGoldenOpts(t, id, goldenOpts(id))
+}
+
+// renderGoldenOpts is renderGolden at an explicit configuration.
+func renderGoldenOpts(t *testing.T, id string, opts Options) []byte {
+	t.Helper()
+	res, err := Run(id, opts)
 	if err != nil {
 		t.Fatalf("run %s: %v", id, err)
 	}
+	return encodeGolden(t, res)
+}
+
+// encodeGolden renders one Result as canonical golden JSON.
+func encodeGolden(t *testing.T, res Result) []byte {
+	t.Helper()
 	tab, ok := res.Table.(*metrics.Table)
 	if !ok {
-		t.Fatalf("%s: result table is %T, not *metrics.Table", id, res.Table)
+		t.Fatalf("%s: result table is %T, not *metrics.Table", res.ID, res.Table)
 	}
 	doc := goldenDoc{
 		ID:        res.ID,
@@ -69,7 +97,7 @@ func renderGolden(t *testing.T, id string) []byte {
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		t.Fatalf("%s: marshal: %v", id, err)
+		t.Fatalf("%s: marshal: %v", res.ID, err)
 	}
 	return append(buf, '\n')
 }

@@ -408,6 +408,19 @@ func reconnect(e *toolstack.Env, vm *toolstack.VM) error {
 	return e.BootResumed(vm)
 }
 
+// StreamCost is the control-network time to ship a checkpoint between
+// hosts: the migration TCP setup, the guest's pages at the libxc wire
+// rate, and a closing control round-trip. The sharded cluster uses it
+// as the cross-shard message delay between Save on the source's
+// timeline and Restore on the destination's — live migration
+// decomposed into logical-process messages instead of a function call
+// across a shared clock (which Migrate below still requires).
+func StreamCost(cp *Checkpoint) time.Duration {
+	mb := float64(cp.MemBytes) / (1 << 20)
+	wire := time.Duration(mb / costs.MigrationWireMBps * float64(time.Second))
+	return costs.MigrationTCPSetup + wire + costs.MigrationRTT
+}
+
 // Migrate moves vm from src to dst over the control network:
 // pre-create on the target, suspend, transfer, resume, destroy the
 // source. It returns the new VM on dst and the total migration time.

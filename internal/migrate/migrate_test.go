@@ -414,3 +414,75 @@ func TestFailedMigrationLeaksNothingOnTarget(t *testing.T) {
 	}
 	_ = filled
 }
+
+// TestStreamCostScalesWithMemory: the logical-process migration delay
+// is TCP setup + pages over the wire + an RTT, so a bigger guest must
+// cost proportionally more and nothing can beat the fixed floor.
+func TestStreamCostScalesWithMemory(t *testing.T) {
+	clock := sim.NewClock()
+	e := newEnv(clock)
+	small, _ := createVM(t, e, toolstack.ModeChaosXS, "small")
+	cpSmall, _, err := Save(e, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costSmall := StreamCost(cpSmall)
+	if costSmall <= 0 {
+		t.Fatalf("StreamCost = %v, want > 0", costSmall)
+	}
+	double := *cpSmall
+	double.MemBytes *= 2
+	if StreamCost(&double) <= costSmall {
+		t.Fatalf("doubling memory did not raise the stream cost (%v vs %v)",
+			StreamCost(&double), costSmall)
+	}
+	wireOnly := *cpSmall
+	wireOnly.MemBytes = 0
+	if got := StreamCost(&wireOnly); got <= 0 {
+		t.Fatalf("zero-page checkpoint costs %v, want the TCP setup + RTT floor", got)
+	}
+}
+
+// TestSaveShipRestoreAcrossClocks is the sharded cluster's migration
+// path in miniature: Save on the source host's private timeline, a
+// StreamCost of wire delay, Restore on a destination running its own
+// clock. Migrate() requires a shared clock; the checkpoint hop must
+// not.
+func TestSaveShipRestoreAcrossClocks(t *testing.T) {
+	srcClock, dstClock := sim.NewClock(), sim.NewClock()
+	src, dst := newEnv(srcClock), newEnv(dstClock)
+	// Skew the timelines: the destination lives in the source's past.
+	srcClock.Sleep(5 * time.Second)
+
+	vm, _ := createVM(t, src, toolstack.ModeChaosXS, "roam")
+	cp, saveTime, err := Save(src, vm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saveTime <= 0 {
+		t.Fatal("save charged no virtual time")
+	}
+	// Ship: the wire delay lands on the destination's own timeline.
+	dstClock.Sleep(StreamCost(cp))
+	restored, restoreTime, err := Restore(dst, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restoreTime <= 0 {
+		t.Fatal("restore charged no virtual time")
+	}
+	if !restored.Booted || restored.Name != "roam" {
+		t.Fatalf("restored VM not serviceable: %+v", restored)
+	}
+	if _, err := src.VM("roam"); err == nil {
+		t.Fatal("source still tracks the migrated VM")
+	}
+	if got, err := dst.VM("roam"); err != nil || got != restored {
+		t.Fatalf("destination does not track the restored VM: %v", err)
+	}
+	// The two clocks never interacted: the source is still where Save
+	// left it, far ahead of the destination.
+	if srcClock.Now() <= dstClock.Now() {
+		t.Fatalf("clock skew collapsed: src %v, dst %v", srcClock.Now(), dstClock.Now())
+	}
+}

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"sort"
 	"time"
 
 	"lightvm/internal/sim"
@@ -13,8 +14,9 @@ import (
 // firewall packet work in Fig. 16a), so completion times under
 // overload emerge from sharing rather than from a formula.
 type PS struct {
-	clock *sim.Clock
-	cores map[int]*psCore
+	clock  *sim.Clock
+	cores  map[int]*psCore
+	nextID int
 }
 
 type psCore struct {
@@ -34,15 +36,15 @@ func NewPS(clock *sim.Clock) *PS {
 	return &PS{clock: clock, cores: make(map[int]*psCore)}
 }
 
-var psNextID int
-
 // Submit queues work on core; done (optional) runs at completion with
-// the completion time.
+// the completion time. Job ids are per-queue, not global: hosts on
+// different shards submit concurrently, and a shared counter would be
+// both a data race and a cross-run nondeterminism.
 func (ps *PS) Submit(core int, work time.Duration, done func(sim.Time)) {
 	c := ps.core(core)
 	ps.catchUp(c)
-	psNextID++
-	c.jobs[psNextID] = &psJob{id: psNextID, remaining: work, done: done}
+	ps.nextID++
+	c.jobs[ps.nextID] = &psJob{id: ps.nextID, remaining: work, done: done}
 	ps.rearm(core, c)
 }
 
@@ -99,17 +101,24 @@ func (ps *PS) catchUp(c *psCore) {
 			return
 		}
 		// Advance to the completion point and retire finished jobs.
+		// Simultaneous finishers complete in submission (id) order, not
+		// map order — callbacks must fire identically on every run.
 		for _, j := range c.jobs {
 			j.remaining -= min
 		}
 		elapsed -= span
 		finishAt := now.Add(-sim.Duration(elapsed))
+		var finished []*psJob
 		for id, j := range c.jobs {
 			if j.remaining <= 0 {
 				delete(c.jobs, id)
-				if j.done != nil {
-					j.done(finishAt)
-				}
+				finished = append(finished, j)
+			}
+		}
+		sort.Slice(finished, func(i, k int) bool { return finished[i].id < finished[k].id })
+		for _, j := range finished {
+			if j.done != nil {
+				j.done(finishAt)
 			}
 		}
 	}

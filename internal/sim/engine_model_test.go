@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Model check of the conservative engine against a single-queue
+// reference, in the style of the xenstore model harness: generate a
+// few thousand random event topologies, execute each on (a) a plain
+// global event queue that always runs the globally earliest event, and
+// (b) the parallel engine at two different worker counts, then demand
+// that all three executions produce the same schedule.
+//
+// Handlers here only schedule — they never Sleep — so the engine owes
+// them strict global timestamp order (see the package comment): the
+// comparison is exact, not modulo clamping. Event behaviour is derived
+// purely from a label hash, so the engine and the reference execute
+// the same logical program without sharing any state.
+
+// mtrace is one executed event: when, where, and which logical event.
+type mtrace struct {
+	at    Time
+	shard int
+	label uint64
+}
+
+// mixSplit derives a 64-bit stream from a label (splitmix64): the
+// event's "program" — how many children it spawns, where they go and
+// with what delay — is a pure function of this.
+func mixSplit(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// topology is one generated scenario.
+type topology struct {
+	shards    int
+	lookahead Duration
+	roots     []mtrace // initial events (at = schedule time)
+}
+
+func genTopology(seed uint64) topology {
+	rng := NewRNG(seed | 1)
+	tp := topology{
+		shards:    2 + rng.Intn(7),
+		lookahead: time.Duration(1+rng.Intn(3)) * time.Millisecond,
+	}
+	nRoots := 1 + rng.Intn(12)
+	for i := 0; i < nRoots; i++ {
+		tp.roots = append(tp.roots, mtrace{
+			at:    Time(0).Add(time.Duration(rng.Intn(5000)) * time.Microsecond),
+			shard: rng.Intn(tp.shards),
+			label: seed<<16 | uint64(i),
+		})
+	}
+	return tp
+}
+
+// eventProgram decodes what the event `label` at depth d does: a list
+// of (child label, dst shard or -1 for local, delay).
+type childSpec struct {
+	label uint64
+	dst   int // -1 = local
+	delay Duration
+}
+
+func program(label uint64, depth, shards int) []childSpec {
+	if depth >= 6 {
+		return nil
+	}
+	h := mixSplit(label)
+	n := int(h % 3) // 0-2 children; branching decays via depth cap
+	var out []childSpec
+	for k := 0; k < n; k++ {
+		hk := mixSplit(label ^ uint64(k+1)*0x517cc1b727220a95)
+		cs := childSpec{
+			label: hk,
+			dst:   -1,
+			delay: time.Duration(hk%4000) * time.Microsecond,
+		}
+		if hk&0x10000 != 0 {
+			cs.dst = int(hk>>20) % shards
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// runEngine executes the topology on the parallel engine and returns
+// the trace sorted canonically plus each shard's own execution order.
+func runEngine(tp topology, workers int) (all []mtrace, perShard [][]mtrace) {
+	e := NewEngine(tp.shards, workers, tp.lookahead)
+	perShard = make([][]mtrace, tp.shards)
+	var exec func(shard int, label uint64, depth int) func()
+	exec = func(shard int, label uint64, depth int) func() {
+		return func() {
+			s := e.Shard(shard)
+			now := s.Clock().Now()
+			perShard[shard] = append(perShard[shard], mtrace{now, shard, label})
+			for _, cs := range program(label, depth, tp.shards) {
+				if cs.dst < 0 || cs.dst == shard {
+					s.Clock().After(cs.delay, exec(shard, cs.label, depth+1))
+				} else {
+					s.Send(cs.dst, cs.delay, exec(cs.dst, cs.label, depth+1))
+				}
+			}
+		}
+	}
+	for _, r := range tp.roots {
+		e.Shard(r.shard).Clock().Schedule(r.at, exec(r.shard, r.label, 0))
+	}
+	e.Run()
+	for _, tr := range perShard {
+		all = append(all, tr...)
+	}
+	sortCanon(all)
+	return all, perShard
+}
+
+// runReference executes the topology on one global queue: always run
+// the earliest pending event anywhere, applying the same lookahead
+// floor to cross-shard sends. This is the sequential semantics the
+// engine must reproduce.
+func runReference(tp topology) []mtrace {
+	type item struct {
+		at    Time
+		seq   int
+		shard int
+		label uint64
+		depth int
+	}
+	var q []item
+	seq := 0
+	push := func(at Time, shard int, label uint64, depth int) {
+		q = append(q, item{at, seq, shard, label, depth})
+		seq++
+	}
+	for _, r := range tp.roots {
+		push(r.at, r.shard, r.label, 0)
+	}
+	var out []mtrace
+	for len(q) > 0 {
+		best := 0
+		for i := 1; i < len(q); i++ {
+			if q[i].at < q[best].at || (q[i].at == q[best].at && q[i].seq < q[best].seq) {
+				best = i
+			}
+		}
+		it := q[best]
+		q[best] = q[len(q)-1]
+		q = q[:len(q)-1]
+		out = append(out, mtrace{it.at, it.shard, it.label})
+		for _, cs := range program(it.label, it.depth, tp.shards) {
+			d := cs.delay
+			dst := it.shard
+			if cs.dst >= 0 && cs.dst != it.shard {
+				dst = cs.dst
+				if d < Duration(tp.lookahead) {
+					d = Duration(tp.lookahead) // the Send floor
+				}
+			}
+			push(it.at.Add(d), dst, cs.label, it.depth+1)
+		}
+	}
+	sortCanon(out)
+	return out
+}
+
+// sortCanon orders a trace by (time, shard, label): same-time events
+// on different shards have no defined relative order, so comparisons
+// happen in this canonical form.
+func sortCanon(tr []mtrace) {
+	sort.Slice(tr, func(i, j int) bool {
+		if tr[i].at != tr[j].at {
+			return tr[i].at < tr[j].at
+		}
+		if tr[i].shard != tr[j].shard {
+			return tr[i].shard < tr[j].shard
+		}
+		return tr[i].label < tr[j].label
+	})
+}
+
+// TestEngineMatchesSingleQueueReference is the model check: 1500
+// seeded topologies, each executed on the reference queue and on the
+// engine at one and at several workers.
+//
+// Invariants demanded per topology:
+//  1. the engine's schedule (what ran, where, at what virtual time)
+//     equals the single-queue reference's — so no event ran before a
+//     cross-shard event with a lower timestamp, or the timestamps
+//     would differ;
+//  2. each shard executed its events in nondecreasing timestamp order;
+//  3. worker counts do not change even the per-shard execution order.
+func TestEngineMatchesSingleQueueReference(t *testing.T) {
+	topologies := 1500
+	if testing.Short() {
+		topologies = 200
+	}
+	for seed := 0; seed < topologies; seed++ {
+		tp := genTopology(uint64(seed))
+		ref := runReference(tp)
+		got1, per1 := runEngine(tp, 1)
+		gotN, perN := runEngine(tp, 2+seed%7)
+
+		if !reflect.DeepEqual(got1, ref) {
+			t.Fatalf("seed %d: engine(w=1) schedule diverged from reference\n eng: %v\n ref: %v",
+				seed, got1, ref)
+		}
+		if !reflect.DeepEqual(perN, per1) {
+			t.Fatalf("seed %d: workers=%d changed per-shard execution order", seed, 2+seed%7)
+		}
+		_ = gotN
+		for sh, tr := range per1 {
+			for i := 1; i < len(tr); i++ {
+				if tr[i].at < tr[i-1].at {
+					t.Fatalf("seed %d: shard %d executed %v after %v (time went backwards)",
+						seed, sh, tr[i], tr[i-1])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+const la = time.Millisecond // test lookahead
+
+// TestEngineSingleShard: one shard degenerates to the plain clock.
+func TestEngineSingleShard(t *testing.T) {
+	e := NewEngine(1, 1, la)
+	var order []int
+	c := e.Shard(0).Clock()
+	c.After(3*time.Millisecond, func() { order = append(order, 3) })
+	c.After(1*time.Millisecond, func() { order = append(order, 1) })
+	c.After(2*time.Millisecond, func() { order = append(order, 2) })
+	st := e.Run()
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if st.Events != 3 || st.Messages != 0 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+// TestEngineSendTimestamp: a message executes on the destination's
+// timeline at sender-time + delay.
+func TestEngineSendTimestamp(t *testing.T) {
+	e := NewEngine(2, 1, la)
+	a, b := e.Shard(0), e.Shard(1)
+	var got Time
+	a.Clock().After(5*time.Millisecond, func() {
+		a.Send(1, 3*time.Millisecond, func() { got = b.Clock().Now() })
+	})
+	e.Run()
+	if want := Time(0).Add(8 * time.Millisecond); got != want {
+		t.Fatalf("message ran at %v, want %v", got, want)
+	}
+}
+
+// TestEngineLookaheadFloor: delays below the lookahead are raised to
+// it — the minimum latency is the causality floor.
+func TestEngineLookaheadFloor(t *testing.T) {
+	e := NewEngine(2, 1, la)
+	a, b := e.Shard(0), e.Shard(1)
+	var got Time
+	a.Clock().After(time.Millisecond, func() {
+		a.Send(1, 0, func() { got = b.Clock().Now() })
+	})
+	e.Run()
+	if want := Time(0).Add(2 * time.Millisecond); got != want {
+		t.Fatalf("zero-delay message ran at %v, want %v (floored to lookahead)", got, want)
+	}
+}
+
+// TestEngineSleepAheadClamp: a handler that sleeps beyond its window's
+// horizon can leave its shard's clock above an incoming message's
+// timestamp; the message then runs at the receiver's current time (the
+// node was busy in a blocking op), never in its past.
+func TestEngineSleepAheadClamp(t *testing.T) {
+	e := NewEngine(2, 1, la)
+	a, b := e.Shard(0), e.Shard(1)
+	var ranAt, nowAt Time
+	// Shard 1 sleeps to t=50ms inside an event at t=1ms.
+	b.Clock().After(time.Millisecond, func() { b.Clock().Sleep(49 * time.Millisecond) })
+	// Shard 0 sends a message stamped ~t=2ms.
+	a.Clock().After(time.Millisecond, func() {
+		a.Send(1, la, func() { ranAt = b.Clock().Now() })
+	})
+	e.Run()
+	nowAt = b.Clock().Now()
+	if ranAt != Time(0).Add(50*time.Millisecond) || nowAt != ranAt {
+		t.Fatalf("clamped message ran at %v (final clock %v), want 50ms", ranAt, nowAt)
+	}
+}
+
+// TestEngineSetupSend: a Send issued before Run — outside any handler,
+// possibly on a shard with no scheduled events — must still be
+// delivered, not stranded in the outbox.
+func TestEngineSetupSend(t *testing.T) {
+	e := NewEngine(3, 1, la)
+	ran := 0
+	// Shard 2 has no events of its own, only the setup-time send.
+	e.Shard(2).Send(0, 4*time.Millisecond, func() { ran++ })
+	// Another shard does have local work, so the engine is not
+	// trivially quiescent.
+	e.Shard(1).Clock().After(time.Millisecond, func() {})
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("setup-time send ran %d times, want 1", ran)
+	}
+	// And the degenerate case: the send is the only activity at all.
+	e2 := NewEngine(2, 1, la)
+	ran = 0
+	e2.Shard(1).Send(0, time.Millisecond, func() { ran++ })
+	e2.Run()
+	if ran != 1 {
+		t.Fatalf("send-only engine ran the message %d times, want 1", ran)
+	}
+}
+
+// TestEngineRunAgain: Run may be called repeatedly; stats accumulate
+// and new work picks up where the clocks stopped.
+func TestEngineRunAgain(t *testing.T) {
+	e := NewEngine(2, 1, la)
+	e.Shard(0).Clock().After(time.Millisecond, func() {})
+	st1 := e.Run()
+	e.Shard(0).Clock().After(time.Millisecond, func() {
+		e.Shard(0).Send(1, la, func() {})
+	})
+	st2 := e.Run()
+	if st2.Events != st1.Events+2 || st2.Messages != 1 {
+		t.Fatalf("second run stats = %v (first %v)", st2, st1)
+	}
+	if got := e.Shard(0).Clock().Now(); got != Time(0).Add(2*time.Millisecond) {
+		t.Fatalf("clock resumed at %v", got)
+	}
+}
+
+// TestEngineNestedAdvanceDelivery: an event scheduled from inside a
+// nested clock advance (a handler that sleeps) still fires within the
+// same window when due — and cross-shard sends issued from such nested
+// events are delivered exactly once.
+func TestEngineNestedAdvanceDelivery(t *testing.T) {
+	e := NewEngine(2, 1, la)
+	a := e.Shard(0)
+	var fired []string
+	a.Clock().After(time.Millisecond, func() {
+		// Schedule a tick 1ms out, then sleep 5ms: the tick fires from
+		// inside the nested advance.
+		a.Clock().After(time.Millisecond, func() {
+			fired = append(fired, fmt.Sprintf("tick@%v", a.Clock().Now()))
+			a.Send(1, la, func() { fired = append(fired, "cross") })
+		})
+		a.Clock().Sleep(5 * time.Millisecond)
+	})
+	e.Run()
+	want := []string{"tick@2ms", "cross"}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+}
+
+// TestEngineWorkerCountInvariance: the exact per-shard execution
+// traces of a messy scenario (fan-out, ping-pong, sleeps) must be
+// byte-identical at every worker count.
+func TestEngineWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) [][]Time {
+		e := NewEngine(5, workers, la)
+		traces := make([][]Time, 5)
+		var ping func(from, to, hops int)
+		ping = func(from, to, hops int) {
+			s := e.Shard(from)
+			s.Send(to, la+time.Duration(hops)*100*time.Microsecond, func() {
+				traces[to] = append(traces[to], e.Shard(to).Clock().Now())
+				if hops > 0 {
+					ping(to, (to+2)%5, hops-1)
+				}
+			})
+		}
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Shard(i).Clock().After(time.Duration(i+1)*time.Millisecond, func() {
+				traces[i] = append(traces[i], e.Shard(i).Clock().Now())
+				if i%2 == 0 {
+					e.Shard(i).Clock().Sleep(3 * time.Millisecond)
+				}
+				ping(i, (i+1)%5, 6)
+			})
+		}
+		e.Run()
+		return traces
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d trace diverged:\n  w1: %v\n  w%d: %v", w, base, w, got)
+		}
+	}
+}
+
+// TestEnginePanics: constructor contract.
+func TestEnginePanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"no shards", func() { NewEngine(0, 1, la) }},
+		{"zero lookahead", func() { NewEngine(1, 1, 0) }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Benchmarks and allocation budgets for the sharded engine's two hot
+// paths: local event execution inside a window (ShardStep) and the
+// cross-shard mailbox handoff (CrossShardSend). ext-cluster pushes
+// tens of millions of local events and hundreds of thousands of
+// messages through these paths per run, so per-op garbage multiplies
+// straight into GC pauses exactly like the xenstore op paths do for
+// guest creation. The Makefile's bench-compare gate watches the
+// figure-level Allocs these feed into; the gates below pin the per-op
+// budgets at their source.
+
+// stepEngine builds an engine with nShards chains of chained local
+// events, each chain total/nShards events long.
+func stepEngine(nShards, workers, total int) *Engine {
+	e := NewEngine(nShards, workers, time.Millisecond)
+	per := total / nShards
+	for i := 0; i < nShards; i++ {
+		s := e.Shard(i)
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < per {
+				s.Clock().After(50*time.Microsecond, tick)
+			}
+		}
+		s.Clock().After(time.Duration(i+1)*time.Microsecond, tick)
+	}
+	return e
+}
+
+// BenchmarkShardStep measures the local-event hot path: one queued
+// event popped, fired and recycled inside RunBefore, across shards
+// progressing in conservative windows.
+func BenchmarkShardStep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers=1", 4: "workers=4"}[workers], func(b *testing.B) {
+			e := stepEngine(8, workers, b.N+8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			e.Run()
+		})
+	}
+}
+
+// pingPongEngine builds a 2-shard engine exchanging total messages.
+func pingPongEngine(workers, total int) *Engine {
+	e := NewEngine(2, workers, time.Millisecond)
+	a, c := e.Shard(0), e.Shard(1)
+	n := 0
+	var ping, pong func()
+	ping = func() {
+		n++
+		if n < total {
+			a.Send(1, 0, pong)
+		}
+	}
+	pong = func() {
+		n++
+		if n < total {
+			c.Send(0, 0, ping)
+		}
+	}
+	a.Clock().After(time.Microsecond, ping)
+	return e
+}
+
+// BenchmarkCrossShardSend measures the mailbox handoff: outbox append,
+// canonical sort, delivery into the destination clock — one message
+// (and its execution) per op.
+func BenchmarkCrossShardSend(b *testing.B) {
+	e := pingPongEngine(1, b.N+1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}
+
+// TestShardStepAllocBudget pins the local hot path at 0–1 allocs per
+// event (in practice ~0: pooled clock events, reused window scratch).
+// Only the chain closures themselves allocate, a constant per run.
+func TestShardStepAllocBudget(t *testing.T) {
+	const total = 4096
+	// Warm run: grows the event pools and the engine scratch slices.
+	stepEngine(4, 1, total).Run()
+	allocs := testing.AllocsPerRun(1, func() {
+		e := stepEngine(4, 1, total)
+		st := e.Run()
+		if st.Events != total {
+			t.Fatalf("ran %d events, want %d", st.Events, total)
+		}
+	})
+	// Engine + shard + chain setup allocates a bounded constant; the
+	// per-event budget is what must not scale.
+	perEvent := allocs / total
+	if perEvent > 1 {
+		t.Fatalf("local event hot path allocates %.2f objects/op (%.0f total), budget 0-1",
+			perEvent, allocs)
+	}
+	if allocs > 200 {
+		t.Fatalf("engine run allocated %.0f objects for %d events — the hot path is not amortized",
+			allocs, total)
+	}
+}
+
+// TestCrossShardSendAllocBudget pins the mailbox handoff: a message's
+// outbox entry, flush-sort slot and destination clock event are all
+// reused, so steady-state sends must stay within 1 alloc/op.
+func TestCrossShardSendAllocBudget(t *testing.T) {
+	const total = 4096
+	pingPongEngine(1, total).Run()
+	allocs := testing.AllocsPerRun(1, func() {
+		e := pingPongEngine(1, total)
+		st := e.Run()
+		if st.Messages != total-1 {
+			t.Fatalf("delivered %d messages, want %d", st.Messages, total-1)
+		}
+	})
+	perMsg := allocs / total
+	if perMsg > 1 {
+		t.Fatalf("cross-shard send allocates %.2f objects/op (%.0f total), budget 0-1",
+			perMsg, allocs)
+	}
+	if allocs > 200 {
+		t.Fatalf("ping-pong run allocated %.0f objects for %d messages — the handoff is not amortized",
+			allocs, total)
+	}
+}

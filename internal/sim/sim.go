@@ -74,11 +74,10 @@ func (h *eventHeap) Pop() interface{} {
 // Clock is the simulation's notion of time plus its event queue.
 // The zero value is not usable; call NewClock.
 type Clock struct {
-	now    Time
-	queue  eventHeap
-	seq    uint64
-	halted bool
-	free   *event // recycled events (see event)
+	now   Time
+	queue eventHeap
+	seq   uint64
+	free  *event // recycled events (see event)
 }
 
 // newEvent takes an event from the free list, or allocates one.
@@ -164,6 +163,31 @@ func (c *Clock) Drain(limit int) int {
 		if limit > 0 && n >= limit {
 			break
 		}
+		e := heap.Pop(&c.queue).(*event)
+		if e.at > c.now {
+			c.now = e.at
+		}
+		e.fn()
+		c.release(e)
+		n++
+	}
+	return n
+}
+
+// RunBefore fires every queued event with deadline strictly before w,
+// in timestamp order, advancing the clock to each event's time. The
+// clock is NOT advanced to w afterwards: it rests at the last fired
+// event (or wherever a handler's Sleep left it), so the next window
+// can start from the true local frontier. Events a handler schedules
+// inside the window are honoured if they also fall before w. It
+// returns the number of events fired.
+//
+// This is the sharded engine's per-window executor (see engine.go): w
+// is the shard's conservative horizon, below which no cross-shard
+// message can still arrive.
+func (c *Clock) RunBefore(w Time) int {
+	n := 0
+	for len(c.queue) > 0 && c.queue[0].at < w {
 		e := heap.Pop(&c.queue).(*event)
 		if e.at > c.now {
 			c.now = e.at

@@ -333,6 +333,11 @@ type ExperimentOptions struct {
 	Seed uint64
 	// Parallel bounds the worker pool (0 = GOMAXPROCS, 1 = sequential).
 	Parallel int
+	// Shards pins the engine worker count for figures built on the
+	// sharded cluster core (ext-cluster). 0 = the figure's default
+	// sweep over {1, 2, 8} with an in-run byte-equality check; any
+	// value yields an identical table.
+	Shards int
 	// ProfileCPU/ProfileHeap capture a pprof CPU/heap profile per
 	// figure into ProfileDir ("." when empty) as <id>.cpu.pb.gz /
 	// <id>.heap.pb.gz and attach a subsystem attribution summary to
@@ -356,7 +361,7 @@ func RunExperimentsOpts(ids []string, o ExperimentOptions) ([]ExperimentResult, 
 		ids = experiments.IDs()
 	}
 	res, err := experiments.RunMany(ids, experiments.Options{
-		Scale: o.Scale, Seed: o.Seed, Parallel: o.Parallel,
+		Scale: o.Scale, Seed: o.Seed, Parallel: o.Parallel, Shards: o.Shards,
 		Profile: experiments.ProfileOptions{
 			CPU: o.ProfileCPU, Heap: o.ProfileHeap, Dir: o.ProfileDir, Only: o.ProfileFigures,
 		},
