@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke bench-compare profile-smoke fsck-smoke gray-smoke cluster-smoke clean
+.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke bench-compare profile-smoke fsck-smoke gray-smoke cluster-smoke serve-smoke clean
 
 # Newest checked-in benchmark report; bench-compare reruns its figures
 # and fails on regression. Override with BASELINE=path to pin another.
@@ -19,7 +19,7 @@ test:
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/experiments ./internal/xenstore ./internal/sim ./internal/profiling ./internal/cluster ./cmd/lightvm-bench
+	$(GO) test -race ./internal/experiments ./internal/xenstore ./internal/sim ./internal/profiling ./internal/cluster ./internal/toolstack ./internal/traffic ./cmd/lightvm-bench
 	$(MAKE) bench-compare
 
 # Full gate with the race detector over every package (slower than
@@ -101,6 +101,16 @@ gray-smoke:
 cluster-smoke:
 	$(GO) run ./cmd/lightvm-bench -exp ext-cluster -scale 0.02 -seed 1 -parallel 1 -fsck
 	@echo "cluster-smoke: sharded churn byte-identical across engine worker counts"
+
+# Open-loop serving gate: one small ext-serve run — seeded arrival
+# processes driving per-request unikernels, warm pools (reactive and
+# predictive), container and process baselines — with the generator's
+# own p99 ordering gate (warm pool < cold VM < container on
+# boot-dominated cells) and the cross-layer fsck audit over every host
+# the run built.
+serve-smoke:
+	$(GO) run ./cmd/lightvm-bench -exp ext-serve -scale 0.05 -seed 1 -parallel 1 -fsck
+	@echo "serve-smoke: tail ordering holds; hosts fsck clean"
 
 # Full-scale replay of every figure with a JSON timing report.
 bench:

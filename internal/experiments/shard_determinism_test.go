@@ -26,6 +26,7 @@ var shardDetFigures = []struct {
 	{"fig12b", Options{Scale: 0.05, Seed: 1, Samples: 8, Parallel: 1}},
 	{"ext-gray", Options{Scale: 0.05, Seed: 1, Samples: 8, Parallel: 1}},
 	{"ext-cluster", Options{Scale: 0.005, Seed: 1, Samples: 8, Parallel: 1}},
+	{"ext-serve", Options{Scale: 0.05, Seed: 1, Samples: 8, Parallel: 1}},
 }
 
 // renderAt runs one figure pinned at a shard count and returns its

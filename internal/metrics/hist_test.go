@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"lightvm/internal/sim"
+)
+
+// refQuantile is the sorted-slice nearest-rank reference the histogram
+// must agree with (up to bucket rounding): the rank-⌈p/100·n⌉ sample.
+func refQuantile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// bucketFloor quantizes a value the way the histogram stores it.
+func bucketFloor(d time.Duration) time.Duration {
+	v := uint64(0)
+	if d > 0 {
+		v = uint64(d)
+	}
+	return time.Duration(histLower(histIndex(v)))
+}
+
+var quantilePoints = []float64{0, 10, 25, 50, 75, 90, 99, 99.9, 100}
+
+// checkAgainstReference asserts the histogram's quantiles equal the
+// bucket-quantized sorted-slice reference at every probe point.
+func checkAgainstReference(t *testing.T, name string, samples []time.Duration) {
+	t.Helper()
+	var h Histogram
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Fatalf("%s: count %d, want %d", name, h.Count(), len(samples))
+	}
+	// The histogram quantizes each sample to its bucket floor before
+	// ranking; ranking first and quantizing after yields the same
+	// bucket because quantization is monotone.
+	for _, p := range quantilePoints {
+		want := bucketFloor(refQuantile(samples, p))
+		if got := h.Quantile(p); got != want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v (exact ref %v)",
+				name, p, got, want, refQuantile(samples, p))
+		}
+	}
+}
+
+// TestHistIndexRoundTrip pins the bucket layout: histLower is the left
+// inverse of histIndex, indexes are monotone, and every bucket
+// boundary maps to itself.
+func TestHistIndexRoundTrip(t *testing.T) {
+	last := -1
+	for idx := 0; idx < histBuckets; idx++ {
+		lo := histLower(idx)
+		if got := histIndex(lo); got != idx {
+			t.Fatalf("histIndex(histLower(%d)) = %d", idx, got)
+		}
+		if int(lo) <= last && idx > 0 {
+			t.Fatalf("bucket %d lower bound %d not increasing", idx, lo)
+		}
+		last = int(lo)
+		// The value just below the next boundary stays in this bucket.
+		if idx+1 < histBuckets {
+			hi := histLower(idx+1) - 1
+			if got := histIndex(hi); got != idx {
+				t.Fatalf("histIndex(%d) = %d, want %d", hi, got, idx)
+			}
+		}
+	}
+	// Overflow clamps into the top bucket instead of panicking.
+	if got := histIndex(math.MaxUint64); got != histBuckets-1 {
+		t.Fatalf("histIndex(max) = %d, want %d", got, histBuckets-1)
+	}
+}
+
+// TestHistogramExactAtBoundaries: samples sitting exactly on bucket
+// boundaries are reported exactly — no rounding at all.
+func TestHistogramExactAtBoundaries(t *testing.T) {
+	var samples []time.Duration
+	for idx := 0; idx < histBuckets; idx += 7 {
+		samples = append(samples, time.Duration(histLower(idx)))
+	}
+	var h Histogram
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	for _, p := range quantilePoints {
+		want := refQuantile(samples, p)
+		if got := h.Quantile(p); got != want {
+			t.Errorf("boundary samples: Quantile(%v) = %v, want exact %v", p, got, want)
+		}
+	}
+}
+
+// TestHistogramQuantilesSeededDistributions compares against the
+// reference over seeded exponential, Pareto and uniform distributions.
+func TestHistogramQuantilesSeededDistributions(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := sim.NewRNG(seed * 7919)
+		exp := make([]time.Duration, 0, 3000)
+		par := make([]time.Duration, 0, 3000)
+		uni := make([]time.Duration, 0, 3000)
+		for i := 0; i < 3000; i++ {
+			exp = append(exp, rng.Exp(7*time.Millisecond))
+			par = append(par, rng.Pareto(time.Millisecond, 10*time.Second, 1.3))
+			uni = append(uni, time.Duration(rng.Intn(int(2*time.Second))))
+		}
+		checkAgainstReference(t, "exp", exp)
+		checkAgainstReference(t, "pareto", par)
+		checkAgainstReference(t, "uniform", uni)
+	}
+}
+
+// TestHistogramP999SmallN: with fewer than 1000 samples the p999
+// nearest rank is the maximum sample; the histogram must agree.
+func TestHistogramP999SmallN(t *testing.T) {
+	rng := sim.NewRNG(42)
+	for _, n := range []int{1, 9, 99, 500, 999} {
+		samples := make([]time.Duration, 0, n)
+		var h Histogram
+		for i := 0; i < n; i++ {
+			s := rng.Exp(3 * time.Millisecond)
+			samples = append(samples, s)
+			h.Observe(s)
+		}
+		max := samples[0]
+		for _, s := range samples {
+			if s > max {
+				max = s
+			}
+		}
+		if got, want := h.P999(), bucketFloor(max); got != want {
+			t.Errorf("n=%d: P999 = %v, want max bucket %v", n, got, want)
+		}
+	}
+}
+
+// TestHistogramMerge: merging per-worker histograms in any order is
+// identical to one histogram observing every stream.
+func TestHistogramMerge(t *testing.T) {
+	rng := sim.NewRNG(7)
+	var whole Histogram
+	workers := make([]Histogram, 8)
+	var all []time.Duration
+	for i := 0; i < 4000; i++ {
+		s := rng.Pareto(200*time.Microsecond, time.Minute, 1.1)
+		all = append(all, s)
+		whole.Observe(s)
+		workers[i%len(workers)].Observe(s)
+	}
+	var fwd, rev Histogram
+	for i := range workers {
+		fwd.Merge(&workers[i])
+		rev.Merge(&workers[len(workers)-1-i])
+	}
+	fwd.Merge(nil) // nil merge is a no-op
+	if fwd != whole || rev != whole {
+		t.Fatalf("merged histograms differ from whole-stream histogram")
+	}
+	for _, p := range quantilePoints {
+		if got, want := fwd.Quantile(p), bucketFloor(refQuantile(all, p)); got != want {
+			t.Errorf("merged Quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestHistogramEdgeCases: zero value, negative samples, empty
+// histogram, mean.
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(50) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Observe(-time.Second) // clamps to 0
+	h.Observe(0)
+	if h.Count() != 2 || h.Quantile(100) != 0 {
+		t.Fatalf("negative/zero samples: count %d q100 %v", h.Count(), h.Quantile(100))
+	}
+	h.Observe(4 * time.Millisecond)
+	if got := h.Mean(); got == 0 || got > 2*time.Millisecond {
+		t.Fatalf("mean %v outside (0, 2ms]", got)
+	}
+	if s := h.String(); s == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+// TestHistogramObserveAllocBudget pins the serving hot path at zero
+// allocations per sample.
+func TestHistogramObserveAllocBudget(t *testing.T) {
+	var h Histogram
+	rng := sim.NewRNG(3)
+	samples := make([]time.Duration, 1024)
+	for i := range samples {
+		samples[i] = rng.Exp(5 * time.Millisecond)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for _, s := range samples {
+			h.Observe(s)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.2f objects per 1024 samples, budget 0", allocs)
+	}
+}
+
+// BenchmarkHistogramObserve measures the per-sample recording cost
+// (must report 0 allocs/op).
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	rng := sim.NewRNG(3)
+	samples := make([]time.Duration, 4096)
+	for i := range samples {
+		samples[i] = rng.Exp(5 * time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(samples[i&4095])
+	}
+}
+
+// BenchmarkHistogramQuantile measures headline quantile extraction.
+func BenchmarkHistogramQuantile(b *testing.B) {
+	var h Histogram
+	rng := sim.NewRNG(3)
+	for i := 0; i < 100000; i++ {
+		h.Observe(rng.Exp(5 * time.Millisecond))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.P999()
+	}
+}

@@ -97,8 +97,25 @@ func NewPool(env *Env) *Pool {
 	return &Pool{env: env, target: 8, shells: make(map[string][]*Shell), flavors: make(map[string]Flavor)}
 }
 
-// SetTarget configures the per-flavor shell depth.
-func (p *Pool) SetTarget(n int) { p.target = n }
+// SetTarget configures the per-flavor shell depth. Negative depths
+// clamp to zero. Takes mu: the autoscaler retargets the pool while
+// Take/Replenish run from serving workers, and an unguarded write here
+// would race the daemon's `len(shells) < target` refill loop.
+func (p *Pool) SetTarget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.mu.Lock()
+	p.target = n
+	p.mu.Unlock()
+}
+
+// Target reports the configured per-flavor shell depth.
+func (p *Pool) Target() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.target
+}
 
 // Available reports ready shells for a flavor.
 func (p *Pool) Available(f Flavor) int {
@@ -218,7 +235,16 @@ func (p *Pool) Take(f Flavor) *Shell {
 // were registered), charging the prepare work to the current
 // (background) time. While the daemon is down after a crash there is
 // nobody to do the work.
-func (p *Pool) Replenish() error {
+func (p *Pool) Replenish() error { return p.ReplenishUntil(0) }
+
+// ReplenishUntil is Replenish bounded by a clock deadline: the daemon
+// stops starting new prepares once the clock reaches it (the prepare
+// in flight still completes — shell builds don't abort halfway). A
+// serving loop passes the next request's arrival time, modeling the
+// background daemon yielding the control plane to foreground work
+// instead of batching an unbounded top-up into one beat and queueing
+// every arrival behind it. deadline 0 means no bound.
+func (p *Pool) ReplenishUntil(deadline sim.Time) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.DaemonDown() {
@@ -232,6 +258,9 @@ func (p *Pool) Replenish() error {
 	for _, k := range keys {
 		f := p.flavors[k]
 		for len(p.shells[k]) < p.target {
+			if deadline > 0 && p.env.Clock.Now() >= deadline {
+				return nil
+			}
 			s, err := p.prepare(f)
 			if err != nil {
 				return err

@@ -1,0 +1,414 @@
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lightvm/internal/apps"
+	"lightvm/internal/container"
+	"lightvm/internal/core"
+	"lightvm/internal/costs"
+	"lightvm/internal/guest"
+	"lightvm/internal/metrics"
+	"lightvm/internal/sched"
+	"lightvm/internal/sim"
+	"lightvm/internal/toolstack"
+)
+
+// Mode selects the serving backend a request lands on.
+type Mode int
+
+const (
+	// VMPerRequest cold-boots a fresh unikernel for every request
+	// (chaos + XenStore, empty pool) and tears it down after the
+	// response — the paper's just-in-time instantiation taken
+	// literally.
+	VMPerRequest Mode = iota
+	// PoolReactive serves from split-toolstack shells kept at a fixed
+	// depth (§5.2's configurable pool) refilled reactively.
+	PoolReactive
+	// PoolPredictive is the same warm pool driven by the
+	// rate-estimating autoscaler: depth follows the arrival rate.
+	PoolPredictive
+	// Container starts a Docker-style container per request.
+	Container
+	// Process fork/execs a plain process per request.
+	Process
+)
+
+var modeNames = [...]string{"vm", "pool-reactive", "pool-predictive", "container", "process"}
+
+func (m Mode) String() string {
+	if m < 0 || int(m) >= len(modeNames) {
+		return "unknown"
+	}
+	return modeNames[m]
+}
+
+// UsesPool reports whether the mode serves from warm shells.
+func (m Mode) UsesPool() bool { return m == PoolReactive || m == PoolPredictive }
+
+// RejectReason classifies admission backpressure.
+type RejectReason int
+
+const (
+	// RejectBacklog: the control plane is further behind the arrival
+	// than MaxBacklog allows — serving this request would blow the
+	// deadline anyway, so it is shed at admission.
+	RejectBacklog RejectReason = iota
+	// RejectCapacity: the backend refused the work outright (the
+	// container engine hitting its memory wall is the canonical case).
+	RejectCapacity
+)
+
+func (r RejectReason) String() string {
+	if r == RejectCapacity {
+		return "capacity"
+	}
+	return "backlog"
+}
+
+// Reject is the typed admission-backpressure error: the request was
+// shed, not failed. The serving loop counts it and moves on; anything
+// that is not a *Reject aborts the run.
+type Reject struct {
+	Reason  RejectReason
+	Backlog time.Duration // control-plane lag at the admission decision
+	Cause   error         // backend error for RejectCapacity
+}
+
+func (r *Reject) Error() string {
+	if r.Cause != nil {
+		return fmt.Sprintf("traffic: rejected (%s, backlog %v): %v", r.Reason, r.Backlog, r.Cause)
+	}
+	return fmt.Sprintf("traffic: rejected (%s, backlog %v)", r.Reason, r.Backlog)
+}
+
+func (r *Reject) Unwrap() error { return r.Cause }
+
+// Config parameterizes one open-loop serving run on one host.
+type Config struct {
+	Machine  sched.Machine // zero value: 8-core/32GB serving host
+	Mode     Mode
+	Image    guest.Image // guest app image for the VM modes (default Daytime)
+	Seed     uint64
+	Arrivals Arrivals // required
+	Requests int      // number of arrivals to generate (required)
+
+	// RequestsPerSession batches requests onto one instance: the
+	// first request of a session pays the boot, the rest ride the
+	// already-running guest. Default 1 (pure per-request).
+	RequestsPerSession int
+
+	// MaxBacklog is the admission limit on control-plane lag; arrivals
+	// finding a deeper queue are shed with RejectBacklog. Default 500ms.
+	MaxBacklog time.Duration
+	// Timeout is the client's end-to-end deadline; responses beyond it
+	// count as timed out (the server still did the work). Default 1s.
+	Timeout time.Duration
+
+	// Scaler tunes the pool autoscaler (pool modes only; Policy is
+	// overridden to match Mode).
+	Scaler toolstack.AutoscalerConfig
+	// WarmEvery samples the warm-shell count every N arrivals into
+	// Stats.Warm. Default Requests/16.
+	WarmEvery int
+
+	// Program is the minipython source executed per request when the
+	// image app is "minipython". Default computes a small sum.
+	Program string
+
+	// KeepStoreLogs leaves XenStore access logging on. By default the
+	// serving host disables it: §4.2 calls out oxenstored logging 20
+	// files per access (with a 90ms rotation pause) as a toolstack
+	// pathology, and no production serving path would run with it.
+	KeepStoreLogs bool
+
+	// hook observes each served request's latency (tests only).
+	hook func(k int, lat time.Duration)
+}
+
+// Stats is one run's outcome. Latency only holds served requests;
+// rejected arrivals never produce a response to measure.
+type Stats struct {
+	Mode             Mode
+	Arrived          int
+	Served           int // responses produced (includes timed-out ones)
+	TimedOut         int // served past the deadline
+	Rejected         int // shed at admission
+	RejectedBacklog  int
+	RejectedCapacity int
+
+	Latency  metrics.Histogram
+	Warm     []int // shells-warm samples over time (every WarmEvery arrivals)
+	AppCalls uint64
+	Elapsed  time.Duration // virtual time consumed
+}
+
+// TimeoutRate is timed-out responses over arrivals.
+func (s *Stats) TimeoutRate() float64 {
+	if s.Arrived == 0 {
+		return 0
+	}
+	return float64(s.TimedOut) / float64(s.Arrived)
+}
+
+// RejectRate is shed arrivals over arrivals.
+func (s *Stats) RejectRate() float64 {
+	if s.Arrived == 0 {
+		return 0
+	}
+	return float64(s.Rejected) / float64(s.Arrived)
+}
+
+// Merge folds another run's stats into s (per-host runs into a fleet
+// aggregate). Warm samples are summed index-wise: the fleet's warm
+// trajectory is the sum of the hosts'.
+func (s *Stats) Merge(o *Stats) {
+	s.Arrived += o.Arrived
+	s.Served += o.Served
+	s.TimedOut += o.TimedOut
+	s.Rejected += o.Rejected
+	s.RejectedBacklog += o.RejectedBacklog
+	s.RejectedCapacity += o.RejectedCapacity
+	s.AppCalls += o.AppCalls
+	s.Latency.Merge(&o.Latency)
+	if o.Elapsed > s.Elapsed {
+		s.Elapsed = o.Elapsed
+	}
+	for i, w := range o.Warm {
+		if i < len(s.Warm) {
+			s.Warm[i] += w
+		} else {
+			s.Warm = append(s.Warm, w)
+		}
+	}
+}
+
+const defaultProgram = "total = 0\nfor i in range(10):\n    total = total + i\nprint(total)\n"
+
+// Serve runs one open-loop serving timeline on a fresh host and
+// returns its stats plus the host (for fsck and inspection).
+//
+// The model follows fig16b: the Dom0 control plane serializes on the
+// host clock, so a request whose arrival predates the clock queues
+// implicitly; in the idle gap before an arrival the autoscaler gets
+// the CPU (retarget + replenish) exactly where the real chaos daemon
+// would. Guest boot work runs on the guest cores in parallel with the
+// control plane, so it is stripped from the image and added to the
+// response latency instead of the Dom0 timeline.
+func Serve(cfg Config) (*Stats, *core.Host, error) {
+	if cfg.Arrivals == nil {
+		return nil, nil, errors.New("traffic: Config.Arrivals is required")
+	}
+	if cfg.Requests <= 0 {
+		return nil, nil, errors.New("traffic: Config.Requests must be positive")
+	}
+	machine := cfg.Machine
+	if machine.Cores == 0 {
+		machine = sched.Machine{Name: "serve", Cores: 8, Dom0Cores: 1, MemoryGB: 32}
+	}
+	img := cfg.Image
+	if img.Name == "" {
+		img = guest.Daytime()
+	}
+	perSession := cfg.RequestsPerSession
+	if perSession < 1 {
+		perSession = 1
+	}
+	maxBacklog := cfg.MaxBacklog
+	if maxBacklog <= 0 {
+		maxBacklog = 500 * time.Millisecond
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	warmEvery := cfg.WarmEvery
+	if warmEvery <= 0 {
+		warmEvery = cfg.Requests / 16
+		if warmEvery == 0 {
+			warmEvery = 1
+		}
+	}
+	program := cfg.Program
+	if program == "" {
+		program = defaultProgram
+	}
+
+	h, err := core.NewHost(machine, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cfg.KeepStoreLogs {
+		h.Env.Store.LoggingEnabled = false
+	}
+
+	tsMode := toolstack.ModeChaosXS
+	if cfg.Mode.UsesPool() {
+		tsMode = toolstack.ModeChaosSplit
+	}
+	bootWork := img.BootWork
+	img.BootWork = time.Microsecond
+
+	var scaler *toolstack.Autoscaler
+	var flavor toolstack.Flavor
+	if cfg.Mode.UsesPool() {
+		flavor = toolstack.FlavorFor(img, tsMode.UsesStore())
+		h.Env.Pool.Register(flavor)
+		pol := cfg.Scaler
+		if pol.Min <= 0 {
+			pol.Min = 8 // the pool's own default depth
+		}
+		if cfg.Mode == PoolPredictive {
+			pol.Policy = toolstack.ScalePredictive
+		} else {
+			pol.Policy = toolstack.ScaleReactive
+		}
+		scaler = toolstack.NewAutoscaler(h.Env.Pool, pol)
+		// Prime the pool before traffic starts, as the daemon does on
+		// configuration.
+		if err := scaler.Tick(h.Clock.Now(), 0); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		h.Env.Pool.SetTarget(0)
+	}
+
+	// Per-response floor: switch forwarding both ways plus the guest
+	// answering the connection.
+	const appWork = 2*costs.BridgeForward + costs.PingProcess
+
+	st := &Stats{Mode: cfg.Mode}
+	reqIdx := 0
+	observe := func(lat time.Duration) {
+		st.Latency.Observe(lat)
+		st.Served++
+		if lat > timeout {
+			st.TimedOut++
+		}
+		if cfg.hook != nil {
+			cfg.hook(reqIdx, lat)
+		}
+	}
+	reject := func(r *Reject) {
+		st.Rejected++
+		if r.Reason == RejectCapacity {
+			st.RejectedCapacity++
+		} else {
+			st.RejectedBacklog++
+		}
+	}
+
+	// Traffic opens once the host is ready: the pool prime ran on the
+	// clock, and no real deployment points the load balancer at a host
+	// mid-warmup.
+	arrive := h.Clock.Now()
+	sinceTick := 0
+	for k := 0; k < cfg.Requests; k++ {
+		reqIdx = k
+		arrive = arrive.Add(cfg.Arrivals.Next())
+		st.Arrived++
+		sinceTick++
+		if h.Clock.Now() < arrive {
+			// Idle gap: the daemon gets the CPU until the next arrival
+			// (the replenish beat yields to foreground work at the
+			// deadline rather than batching an unbounded top-up).
+			if scaler != nil {
+				if err := scaler.TickUntil(h.Clock.Now(), sinceTick, arrive); err != nil {
+					return nil, nil, err
+				}
+				sinceTick = 0
+			}
+			h.Clock.AdvanceTo(arrive)
+		}
+		if k%warmEvery == 0 {
+			w := 0
+			if cfg.Mode.UsesPool() {
+				w = h.Env.Pool.Available(flavor)
+			}
+			st.Warm = append(st.Warm, w)
+		}
+		backlog := h.Clock.Now().Sub(arrive)
+		if backlog > maxBacklog {
+			reject(&Reject{Reason: RejectBacklog, Backlog: backlog})
+			continue
+		}
+
+		switch cfg.Mode {
+		case Container:
+			c, err := h.Docker.Run(container.MicropythonImage().Name)
+			if err != nil {
+				// The engine saying no (memory wall, daemon-table
+				// growth) is backpressure, not a simulation bug.
+				reject(&Reject{Reason: RejectCapacity, Backlog: backlog, Cause: err})
+				continue
+			}
+			lat := h.Clock.Now().Sub(arrive) + appWork
+			observe(lat)
+			for r := 1; r < perSession; r++ {
+				observe(appWork)
+				st.Arrived++
+			}
+			if err := h.Docker.Stop(c.ID); err != nil {
+				return nil, nil, err
+			}
+		case Process:
+			if _, err := h.Procs.Spawn(0); err != nil {
+				reject(&Reject{Reason: RejectCapacity, Backlog: backlog, Cause: err})
+				continue
+			}
+			lat := h.Clock.Now().Sub(arrive) + appWork
+			observe(lat)
+			for r := 1; r < perSession; r++ {
+				observe(appWork)
+				st.Arrived++
+			}
+		default: // the unikernel modes
+			name := fmt.Sprintf("req%d", k)
+			vm, err := h.CreateVM(tsMode, name, img)
+			if err != nil {
+				return nil, nil, fmt.Errorf("traffic: create %s: %w", name, err)
+			}
+			// The guest finishes booting bootWork later, on its own core.
+			ready := h.Clock.Now().Add(bootWork)
+			call := func() error {
+				switch app := h.AppOf(name).(type) {
+				case *apps.Daytime:
+					if app.Serve() == "" {
+						return fmt.Errorf("traffic: %s served empty daytime", name)
+					}
+				case *apps.PyFunc:
+					if _, err := app.Run(program); err != nil {
+						return fmt.Errorf("traffic: %s: %w", name, err)
+					}
+				default:
+					if !h.Ping(vm) {
+						return fmt.Errorf("traffic: %s did not answer", name)
+					}
+				}
+				st.AppCalls++
+				return nil
+			}
+			if err := call(); err != nil {
+				return nil, nil, err
+			}
+			observe(ready.Sub(arrive) + appWork)
+			for r := 1; r < perSession; r++ {
+				if err := call(); err != nil {
+					return nil, nil, err
+				}
+				observe(appWork)
+				st.Arrived++
+			}
+			// Teardown rides the control plane after the response — it
+			// is off this request's latency but delays the next one.
+			if err := h.DestroyVM(vm); err != nil {
+				return nil, nil, fmt.Errorf("traffic: destroy %s: %w", name, err)
+			}
+		}
+	}
+	st.Elapsed = h.Clock.Now().Sub(sim.Time(0))
+	return st, h, nil
+}

@@ -1,0 +1,272 @@
+package traffic
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"lightvm/internal/toolstack"
+)
+
+func TestServeConfigValidation(t *testing.T) {
+	if _, _, err := Serve(Config{Requests: 10}); err == nil {
+		t.Fatal("Serve without Arrivals succeeded")
+	}
+	if _, _, err := Serve(Config{Arrivals: NewPoisson(1, 10)}); err == nil {
+		t.Fatal("Serve without Requests succeeded")
+	}
+}
+
+// TestServeDeterministic: the whole serving timeline is a pure
+// function of the config — same seed, same stats, bit for bit.
+func TestServeDeterministic(t *testing.T) {
+	for _, mode := range []Mode{VMPerRequest, PoolReactive, PoolPredictive, Container, Process} {
+		run := func() *Stats {
+			st, _, err := Serve(Config{
+				Mode:     mode,
+				Seed:     3,
+				Arrivals: NewPoisson(17, 50),
+				Requests: 120,
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+			return st
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: same seed produced different stats:\n%+v\nvs\n%+v", mode, a, b)
+		}
+		if a.Served == 0 {
+			t.Fatalf("%v: served nothing", mode)
+		}
+		if int(a.Latency.Count()) != a.Served {
+			t.Fatalf("%v: histogram holds %d samples, served %d", mode, a.Latency.Count(), a.Served)
+		}
+	}
+}
+
+// TestServeAccounting: arrivals all end up either served or rejected,
+// and the reject reasons partition the rejects.
+func TestServeAccounting(t *testing.T) {
+	for _, mode := range []Mode{VMPerRequest, Container} {
+		// Well past each backend's saturation throughput.
+		st, _, err := Serve(Config{
+			Mode:     mode,
+			Seed:     1,
+			Arrivals: NewPoisson(2, 5000),
+			Requests: 400,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if st.Served+st.Rejected != st.Arrived {
+			t.Fatalf("%v: served %d + rejected %d != arrived %d", mode, st.Served, st.Rejected, st.Arrived)
+		}
+		if st.Rejected == 0 {
+			t.Fatalf("%v: open-loop overload shed nothing", mode)
+		}
+		if st.RejectedBacklog+st.RejectedCapacity != st.Rejected {
+			t.Fatalf("%v: reject reasons %d+%d don't partition %d rejects",
+				mode, st.RejectedBacklog, st.RejectedCapacity, st.Rejected)
+		}
+		if got := st.RejectRate(); got <= 0 || got > 1 {
+			t.Fatalf("%v: reject rate %v out of range", mode, got)
+		}
+	}
+}
+
+// TestServeTimeouts: with an impossible client deadline every served
+// response counts as timed out — the server still does the work.
+func TestServeTimeouts(t *testing.T) {
+	st, _, err := Serve(Config{
+		Mode:     VMPerRequest,
+		Seed:     1,
+		Arrivals: NewPoisson(2, 20),
+		Requests: 60,
+		Timeout:  time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TimedOut != st.Served {
+		t.Fatalf("timed out %d of %d served under a 1µs deadline", st.TimedOut, st.Served)
+	}
+	if got := st.TimeoutRate(); got != 1 {
+		t.Fatalf("timeout rate %v, want 1 (nothing rejected at this rate)", got)
+	}
+}
+
+// TestServeSessions: with N requests per session only the first pays
+// the boot; the rest ride the running guest and the accounting scales.
+func TestServeSessions(t *testing.T) {
+	const sessions, per = 40, 4
+	st, _, err := Serve(Config{
+		Mode:               VMPerRequest,
+		Seed:               1,
+		Arrivals:           NewPoisson(2, 20),
+		Requests:           sessions,
+		RequestsPerSession: per,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Arrived != sessions*per || st.Served != sessions*per {
+		t.Fatalf("arrived %d served %d, want %d both", st.Arrived, st.Served, sessions*per)
+	}
+	if st.AppCalls != sessions*per {
+		t.Fatalf("app answered %d calls, want %d", st.AppCalls, sessions*per)
+	}
+	// Follow-ups skip the boot: the p50 is the cheap in-session path,
+	// far below the session-opening boot latency.
+	if st.Latency.P50() >= st.Latency.Quantile(90) {
+		t.Fatalf("p50 %v not below p90 %v: session follow-ups should dominate the cheap side",
+			st.Latency.P50(), st.Latency.Quantile(90))
+	}
+}
+
+// TestServeRejectTyped: the Reject error is typed, unwraps its cause,
+// and prints both reasons.
+func TestServeRejectTyped(t *testing.T) {
+	cause := errors.New("engine full")
+	r := &Reject{Reason: RejectCapacity, Backlog: 30 * time.Millisecond, Cause: cause}
+	if !errors.Is(r, cause) {
+		t.Fatal("Reject does not unwrap its cause")
+	}
+	if r.Reason.String() != "capacity" || (&Reject{}).Reason.String() != "backlog" {
+		t.Fatalf("reason strings: %q / %q", r.Reason, (&Reject{}).Reason)
+	}
+	var rj *Reject
+	if !errors.As(error(r), &rj) {
+		t.Fatal("errors.As failed on *Reject")
+	}
+}
+
+// TestServeWarmSamples: pool modes sample the warm-shell depth over
+// time; non-pool modes record zeros (the column is still present so
+// fleet merges stay aligned).
+func TestServeWarmSamples(t *testing.T) {
+	pool, _, err := Serve(Config{
+		Mode:     PoolReactive,
+		Seed:     1,
+		Arrivals: NewPoisson(2, 50),
+		Requests: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Warm) == 0 {
+		t.Fatal("pool mode recorded no warm samples")
+	}
+	warmSeen := false
+	for _, w := range pool.Warm {
+		if w > 0 {
+			warmSeen = true
+		}
+	}
+	if !warmSeen {
+		t.Fatalf("pool never had a warm shell: %v", pool.Warm)
+	}
+	vm, _, err := Serve(Config{
+		Mode:     VMPerRequest,
+		Seed:     1,
+		Arrivals: NewPoisson(2, 50),
+		Requests: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range vm.Warm {
+		if w != 0 {
+			t.Fatalf("vm-per-request mode reported warm shells: %v", vm.Warm)
+		}
+	}
+}
+
+// TestServeFsckClean: every mode leaves the host consistent — no
+// leaked domains, devices, or store subtrees after the run.
+func TestServeFsckClean(t *testing.T) {
+	for _, mode := range []Mode{VMPerRequest, PoolReactive, PoolPredictive, Container, Process} {
+		_, h, err := Serve(Config{
+			Mode:     mode,
+			Seed:     9,
+			Arrivals: NewPoisson(4, 100),
+			Requests: 80,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if v := toolstack.Fsck(h.Env); len(v) > 0 {
+			t.Fatalf("%v: fsck: %v", mode, v)
+		}
+	}
+}
+
+// TestServePoolBeatsCold: at a boot-dominated rate the warm pool's
+// median is the take path, below the cold boot median — the figure's
+// headline ordering at unit-test scale.
+func TestServePoolBeatsCold(t *testing.T) {
+	run := func(mode Mode) *Stats {
+		st, _, err := Serve(Config{
+			Mode:     mode,
+			Seed:     1,
+			Arrivals: NewPoisson(2, 20),
+			Requests: 300,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		return st
+	}
+	cold, warm := run(VMPerRequest), run(PoolReactive)
+	if warm.Latency.P50() >= cold.Latency.P50() {
+		t.Fatalf("pool p50 %v not below cold-boot p50 %v", warm.Latency.P50(), cold.Latency.P50())
+	}
+}
+
+// TestStatsMerge: fleet aggregation sums counters, merges histograms
+// losslessly, and sums warm trajectories index-wise.
+func TestStatsMerge(t *testing.T) {
+	run := func(seed uint64) *Stats {
+		st, _, err := Serve(Config{
+			Mode:     PoolReactive,
+			Seed:     seed,
+			Arrivals: NewPoisson(seed, 50),
+			Requests: 64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(1), run(2)
+	var m Stats
+	m.Merge(a)
+	m.Merge(b)
+	if m.Arrived != a.Arrived+b.Arrived || m.Served != a.Served+b.Served {
+		t.Fatalf("merge counters wrong: %+v", m)
+	}
+	if m.Latency.Count() != a.Latency.Count()+b.Latency.Count() {
+		t.Fatalf("merged histogram count %d != %d + %d",
+			m.Latency.Count(), a.Latency.Count(), b.Latency.Count())
+	}
+	if len(m.Warm) != len(a.Warm) {
+		t.Fatalf("merged warm length %d, want %d", len(m.Warm), len(a.Warm))
+	}
+	for i := range m.Warm {
+		if m.Warm[i] != a.Warm[i]+b.Warm[i] {
+			t.Fatalf("warm[%d] = %d, want %d+%d", i, m.Warm[i], a.Warm[i], b.Warm[i])
+		}
+	}
+	if m.Elapsed != maxDur(a.Elapsed, b.Elapsed) {
+		t.Fatalf("merged elapsed %v, want max(%v, %v)", m.Elapsed, a.Elapsed, b.Elapsed)
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -39,6 +39,7 @@ import (
 	"lightvm/internal/tlsterm"
 	"lightvm/internal/toolstack"
 	"lightvm/internal/trace"
+	"lightvm/internal/traffic"
 )
 
 // Core types, re-exported for library users.
@@ -374,6 +375,62 @@ func RunExperimentsOpts(ids []string, o ExperimentOptions) ([]ExperimentResult, 
 		out[i] = toExperimentResult(r)
 	}
 	return out, nil
+}
+
+// Open-loop traffic serving (the engine behind the ext-serve figure):
+// seeded arrival processes drive one host with per-request guests.
+
+type (
+	// TrafficConfig parameterizes one open-loop serving run (mode,
+	// arrival process, admission limits, autoscaler policy).
+	TrafficConfig = traffic.Config
+	// TrafficStats is a run's outcome: latency histogram, timeout and
+	// rejection counters, warm-shell trajectory.
+	TrafficStats = traffic.Stats
+	// TrafficMode selects the serving backend (VM per request, warm
+	// pools, container, process).
+	TrafficMode = traffic.Mode
+	// TrafficReject is the typed admission-backpressure error.
+	TrafficReject = traffic.Reject
+	// Arrivals is an arrival process: seeded, deterministic,
+	// allocation-free gap generation on the virtual clock.
+	Arrivals = traffic.Arrivals
+	// AutoscalerConfig tunes the warm-pool autoscaler (policy, depth
+	// bounds, prediction horizon).
+	AutoscalerConfig = toolstack.AutoscalerConfig
+)
+
+// Serving backends and autoscaler policies.
+const (
+	VMPerRequest    = traffic.VMPerRequest
+	PoolReactive    = traffic.PoolReactive
+	PoolPredictive  = traffic.PoolPredictive
+	ContainerMode   = traffic.Container
+	ProcessMode     = traffic.Process
+	ScaleReactive   = toolstack.ScaleReactive
+	ScalePredictive = toolstack.ScalePredictive
+)
+
+// Arrival-process constructors.
+var (
+	// NewPoisson is memoryless traffic at a fixed rate.
+	NewPoisson = traffic.NewPoisson
+	// NewMMPP is two-state bursty traffic; instances sharing a modSeed
+	// burst at the same virtual times (fleet-synchronized crowds).
+	NewMMPP = traffic.NewMMPP
+	// NewTrace replays a recorded gap sequence.
+	NewTrace = traffic.NewTrace
+	// FlashTrace synthesizes a replayable flash-crowd trace.
+	FlashTrace = traffic.FlashTrace
+)
+
+// ServeTraffic runs one open-loop serving timeline on a fresh host:
+// arrivals keep coming on schedule whether or not the control plane
+// keeps up, each one boots (or pool-takes) a real guest, gets its
+// response, and is torn down. Returns the run's stats and the host
+// (for Fsck and inspection).
+func ServeTraffic(cfg TrafficConfig) (*TrafficStats, *Host, error) {
+	return traffic.Serve(cfg)
 }
 
 // BuildTinyx runs the §3.2 build system: dependency discovery,
