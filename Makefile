@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke bench-compare profile-smoke fsck-smoke gray-smoke cluster-smoke serve-smoke clean
+.PHONY: build test verify verify-race race fuzz-smoke cover-xenstore cover-html bench bench-smoke bench-compare profile-smoke fsck-smoke gray-smoke cluster-smoke serve-smoke overload-smoke clean
 
 # Newest checked-in benchmark report; bench-compare reruns its figures
 # and fails on regression. Override with BASELINE=path to pin another.
@@ -111,6 +111,17 @@ cluster-smoke:
 serve-smoke:
 	$(GO) run ./cmd/lightvm-bench -exp ext-serve -scale 0.05 -seed 1 -parallel 1 -fsck
 	@echo "serve-smoke: tail ordering holds; hosts fsck clean"
+
+# Overload gate: one small ext-overload run — offered load swept
+# through and past each mode's calibrated capacity with the retry
+# storm armed. The generator itself asserts the metastability
+# signature (defenses off: post-burst goodput collapses below half of
+# pre-burst; defenses on: it recovers to >= 95% with a bounded p99),
+# so a recovery failure fails the command; -fsck re-audits every host
+# the run built.
+overload-smoke:
+	$(GO) run ./cmd/lightvm-bench -exp ext-overload -scale 0.05 -seed 1 -parallel 1 -fsck
+	@echo "overload-smoke: metastable collapse reproduced and defended; hosts fsck clean"
 
 # Full-scale replay of every figure with a JSON timing report.
 bench:

@@ -24,9 +24,20 @@ import (
 )
 
 type figure struct {
-	ID     string  `json:"id"`
-	WallMS float64 `json:"wall_ms"`
-	Allocs uint64  `json:"allocs"`
+	ID      string   `json:"id"`
+	WallMS  float64  `json:"wall_ms"`
+	Allocs  uint64   `json:"allocs"`
+	Serving *serving `json:"serving,omitempty"`
+}
+
+// serving is the tail block lightvm-bench attaches to traffic figures
+// (ext-serve, ext-overload). Unlike wall time these numbers are
+// deterministic at fixed scale/seed, so the gate catches any model
+// change that moves the serving tail or the rejection rate.
+type serving struct {
+	P99MS     float64 `json:"p99_ms"`
+	P999MS    float64 `json:"p999_ms"`
+	RejectPct float64 `json:"reject_pct"`
 }
 
 type report struct {
@@ -70,13 +81,33 @@ type diffLine struct {
 	allocBad  bool
 	onlyInOld bool
 	onlyInNew bool
+
+	// Serving-tail gate (only set when both reports carry a serving
+	// block for the figure).
+	hasTail    bool
+	p99Pct     float64
+	p999Pct    float64
+	rejectDiff float64 // percentage-point change in reject rate
+	tailBad    bool
+}
+
+// gates bundles the regression thresholds.
+type gates struct {
+	maxWallPct   float64
+	maxAllocPct  float64
+	minWallMS    float64
+	maxTailPct   float64 // p99/p999 relative regression, percent
+	maxRejectPts float64 // reject-rate increase, percentage points
 }
 
 // diff compares the two reports figure by figure against the given
 // regression thresholds (percent). Figures under minWallMS on both
 // sides never trip the wall gate: relative noise dominates absolute
-// signal down there.
-func diff(oldR, newR *report, maxWallPct, maxAllocPct, minWallMS float64) (lines []diffLine, regressed bool) {
+// signal down there. Figures carrying a serving block in both reports
+// additionally gate the latency tail (p99/p999) and the reject rate —
+// those are deterministic at fixed scale/seed, so any movement is a
+// model change, not noise.
+func diff(oldR, newR *report, g gates) (lines []diffLine, regressed bool) {
 	newByID := make(map[string]figure, len(newR.Figures))
 	for _, f := range newR.Figures {
 		newByID[f.ID] = f
@@ -94,9 +125,17 @@ func diff(oldR, newR *report, maxWallPct, maxAllocPct, minWallMS float64) (lines
 			wallPct:  pct(of.WallMS, nf.WallMS),
 			allocPct: pct(float64(of.Allocs), float64(nf.Allocs)),
 		}
-		l.wallBad = l.wallPct > maxWallPct && (of.WallMS >= minWallMS || nf.WallMS >= minWallMS)
-		l.allocBad = l.allocPct > maxAllocPct
-		if l.wallBad || l.allocBad {
+		l.wallBad = l.wallPct > g.maxWallPct && (of.WallMS >= g.minWallMS || nf.WallMS >= g.minWallMS)
+		l.allocBad = l.allocPct > g.maxAllocPct
+		if of.Serving != nil && nf.Serving != nil {
+			l.hasTail = true
+			l.p99Pct = pct(of.Serving.P99MS, nf.Serving.P99MS)
+			l.p999Pct = pct(of.Serving.P999MS, nf.Serving.P999MS)
+			l.rejectDiff = nf.Serving.RejectPct - of.Serving.RejectPct
+			l.tailBad = l.p99Pct > g.maxTailPct || l.p999Pct > g.maxTailPct ||
+				l.rejectDiff > g.maxRejectPts
+		}
+		if l.wallBad || l.allocBad || l.tailBad {
 			regressed = true
 		}
 		lines = append(lines, l)
@@ -115,6 +154,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	maxWall := fs.Float64("max-wall", 60, "max allowed wall_ms regression per figure, percent")
 	maxAlloc := fs.Float64("max-alloc", 10, "max allowed allocs regression per figure, percent")
 	minWall := fs.Float64("min-wall-ms", 5, "figures faster than this on both sides skip the wall gate")
+	maxTail := fs.Float64("max-tail", 15, "max allowed p99/p999 regression on serving figures, percent")
+	maxReject := fs.Float64("max-reject", 2, "max allowed reject-rate increase on serving figures, percentage points")
 	force := fs.Bool("force", false, "compare even when scale/seed/parallel differ")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -143,8 +184,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, msg, "(continuing under -force)")
 	}
 
-	lines, regressed := diff(oldR, newR, *maxWall, *maxAlloc, *minWall)
-	fmt.Fprintf(stdout, "%-12s %12s %12s\n", "figure", "wall", "allocs")
+	lines, regressed := diff(oldR, newR, gates{
+		maxWallPct: *maxWall, maxAllocPct: *maxAlloc, minWallMS: *minWall,
+		maxTailPct: *maxTail, maxRejectPts: *maxReject,
+	})
+	fmt.Fprintf(stdout, "%-12s %12s %12s %12s\n", "figure", "wall", "allocs", "tail")
 	for _, l := range lines {
 		switch {
 		case l.onlyInOld:
@@ -158,12 +202,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 				return ""
 			}
-			fmt.Fprintf(stdout, "%-12s %+11.1f%%%s %+11.1f%%%s\n",
-				l.id, l.wallPct, mark(l.wallBad), l.allocPct, mark(l.allocBad))
+			tail := ""
+			if l.hasTail {
+				tail = fmt.Sprintf(" p99 %+.1f%% p999 %+.1f%% reject %+.2fpp%s",
+					l.p99Pct, l.p999Pct, l.rejectDiff, mark(l.tailBad))
+			}
+			fmt.Fprintf(stdout, "%-12s %+11.1f%%%s %+11.1f%%%s%s\n",
+				l.id, l.wallPct, mark(l.wallBad), l.allocPct, mark(l.allocBad), tail)
 		}
 	}
 	if regressed {
-		fmt.Fprintf(stderr, "benchdiff: regression beyond -max-wall %g%% / -max-alloc %g%%\n", *maxWall, *maxAlloc)
+		fmt.Fprintf(stderr, "benchdiff: regression beyond -max-wall %g%% / -max-alloc %g%% / -max-tail %g%% / -max-reject %gpp\n",
+			*maxWall, *maxAlloc, *maxTail, *maxReject)
 		return 1
 	}
 	return 0

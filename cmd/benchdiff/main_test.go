@@ -90,6 +90,75 @@ func TestDiffRejectsMismatchedRuns(t *testing.T) {
 	}
 }
 
+const servingOld = `{"date":"2026-08-06","scale":0.05,"seed":1,"parallel":0,
+"figures":[{"id":"ext-overload","wall_ms":100,"allocs":1000,
+"serving":{"p99_ms":110,"p999_ms":300,"reject_pct":12}}]}`
+
+func TestDiffPassesIdenticalServingBlocks(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", servingOld)
+	newP := writeReport(t, dir, "new.json", `{"date":"2026-08-08","scale":0.05,"seed":1,"parallel":0,
+"figures":[{"id":"ext-overload","wall_ms":105,"allocs":1000,
+"serving":{"p99_ms":110,"p999_ms":300,"reject_pct":12}}]}`)
+	var out, errb bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "p99") {
+		t.Fatalf("tail columns absent for serving figure:\n%s", out.String())
+	}
+}
+
+func TestDiffFailsOnTailRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", servingOld)
+	// p99 +36% against the default 15% tail gate; wall/allocs unchanged.
+	newP := writeReport(t, dir, "new.json", `{"date":"2026-08-08","scale":0.05,"seed":1,"parallel":0,
+"figures":[{"id":"ext-overload","wall_ms":100,"allocs":1000,
+"serving":{"p99_ms":150,"p999_ms":300,"reject_pct":12}}]}`)
+	var out, errb bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("missing REGRESSED marker:\n%s", out.String())
+	}
+	// A raised -max-tail lets the same diff through.
+	if code := run([]string{"-max-tail", "50", oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0 with -max-tail 50", code)
+	}
+}
+
+func TestDiffFailsOnRejectRateJump(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", servingOld)
+	// Reject rate +5pp against the default 2pp gate; tail unchanged.
+	newP := writeReport(t, dir, "new.json", `{"date":"2026-08-08","scale":0.05,"seed":1,"parallel":0,
+"figures":[{"id":"ext-overload","wall_ms":100,"allocs":1000,
+"serving":{"p99_ms":110,"p999_ms":300,"reject_pct":17}}]}`)
+	var out, errb bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if code := run([]string{"-max-reject", "10", oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0 with -max-reject 10", code)
+	}
+}
+
+func TestDiffSkipsTailGateWhenBaselineLacksServing(t *testing.T) {
+	dir := t.TempDir()
+	// Old report predates the serving block: no tail gate, no failure.
+	oldP := writeReport(t, dir, "old.json", `{"date":"2026-08-06","scale":0.05,"seed":1,"parallel":0,
+"figures":[{"id":"ext-overload","wall_ms":100,"allocs":1000}]}`)
+	newP := writeReport(t, dir, "new.json", `{"date":"2026-08-08","scale":0.05,"seed":1,"parallel":0,
+"figures":[{"id":"ext-overload","wall_ms":100,"allocs":1000,
+"serving":{"p99_ms":9999,"p999_ms":9999,"reject_pct":99}}]}`)
+	var out, errb bytes.Buffer
+	if code := run([]string{oldP, newP}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0 (no baseline serving block); stderr: %s", code, errb.String())
+	}
+}
+
 func TestDiffReportsMissingFigures(t *testing.T) {
 	dir := t.TempDir()
 	oldP := writeReport(t, dir, "old.json", oldReport)

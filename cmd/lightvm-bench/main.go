@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -47,6 +48,9 @@ type benchFigure struct {
 	VirtualMS  float64                    `json:"virtual_ms"`
 	Profile    *lightvm.ExperimentProfile `json:"profile,omitempty"`
 	CrashSites []lightvm.CrashSiteStat    `json:"crash_sites,omitempty"`
+	// Serving carries a traffic figure's latency tail and rejection
+	// breakdown (ext-serve, ext-overload) for the benchdiff tail gate.
+	Serving *lightvm.ServingSummary `json:"serving,omitempty"`
 }
 
 // benchFsck is the -fsck gate's summary in the -json report.
@@ -69,6 +73,29 @@ type benchReport struct {
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// formatReasons renders a rejected-by-reason map in deterministic key
+// order, or "" when empty.
+func formatReasons(m map[string]int) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(" (")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %d", k, m[k])
+	}
+	b.WriteString(")")
+	return b.String()
 }
 
 // run is the testable CLI body: parse args, run figures, render. It
@@ -151,6 +178,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if res.Profile != nil {
 			fmt.Fprint(stdout, res.Profile.Text)
 		}
+		if s := res.Serving; s != nil {
+			fmt.Fprintf(stdout, "serving: p50 %.1fms p99 %.1fms p999 %.1fms, %d arrived, reject %.2f%%%s",
+				s.P50MS, s.P99MS, s.P999MS, s.Arrived, s.RejectPct, formatReasons(s.RejectedByReason))
+			if s.BrownoutMS > 0 || s.SheddingMS > 0 {
+				fmt.Fprintf(stdout, ", brownout %.0fms shedding %.0fms", s.BrownoutMS, s.SheddingMS)
+			}
+			fmt.Fprintln(stdout)
+		}
 		if len(res.CrashSites) > 0 {
 			var opp, inj uint64
 			for _, st := range res.CrashSites {
@@ -187,7 +222,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			report.Figures = append(report.Figures, benchFigure{
 				ID: res.ID, WallMS: res.WallMS, Allocs: res.Allocs,
 				VirtualMS: res.VirtualMS, Profile: res.Profile,
-				CrashSites: res.CrashSites,
+				CrashSites: res.CrashSites, Serving: res.Serving,
 			})
 		}
 		name := *out

@@ -149,6 +149,10 @@ type Result struct {
 	// aggregated across the figure's cells (nil unless the generator
 	// arms faults.KindToolstackCrash).
 	CrashSites []faults.SiteStat
+	// Serving aggregates a traffic-serving figure's latency tail and
+	// rejection breakdown (nil for non-serving figures). The bench
+	// report carries it so benchdiff can gate tail regressions.
+	Serving *ServingSummary
 }
 
 // registry of all experiments.

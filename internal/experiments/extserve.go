@@ -177,5 +177,6 @@ func extServe(o Options) (Result, error) {
 		Paper:     "extension: JIT unikernel serving beats containers at the tail; warm pools beat cold boots",
 		Table:     t,
 		VirtualMS: maxOf(virtMS),
+		Serving:   summarizeServing(merged),
 	}, nil
 }

@@ -32,7 +32,14 @@ var goldenOptions = Options{Scale: 0.05, Seed: 1, Samples: 8, Parallel: 1}
 
 // goldenFigures are the curves the COW-store work must not move
 // unintentionally.
-var goldenFigures = []string{"fig12a", "fig12b", "fig15", "ext-clone", "ext-cluster", "ext-serve"}
+var goldenFigures = []string{
+	"fig12a", "fig12b", "fig15", "ext-clone", "ext-cluster", "ext-serve",
+	// Pinned by the overload work: the fault-plane figures prove the
+	// three appended fault kinds did not shift any pre-existing
+	// per-kind decision stream, and ext-overload pins the metastability
+	// study itself.
+	"ext-faults", "ext-gray", "ext-overload",
+}
 
 // goldenOverrides replaces goldenOptions for figures whose default
 // golden configuration would be too slow: ext-cluster at scale 0.05

@@ -22,6 +22,15 @@ import (
 
 // Kind enumerates the injectable fault classes and, implicitly, the
 // injection sites that consult them.
+//
+// The enum is APPEND-ONLY. Each kind's decision stream is keyed by its
+// numeric value, so inserting or reordering kinds would shift every
+// existing per-kind schedule and silently change checked-in golden
+// figures. New kinds go after the last one, get a name appended to
+// kindNames, and — if firing them can abandon work or change workload
+// outcomes — join optInKinds so fault-oblivious drivers with an empty
+// Plan.Kinds never see them (faults_test.go pins both the numbering
+// and the mask).
 type Kind int
 
 const (
@@ -84,6 +93,30 @@ const (
 	// must quarantine repeat offenders instead of flapping placements
 	// back and forth.
 	KindHostFlap
+	// KindMemPressure shrinks the host's memory headroom: dom0 (or a
+	// noisy neighbor) balloons away a deterministic fraction of the
+	// free pages for a while, so guest creations hit mm.ErrOutOfMemory
+	// and dedup'd populations lose their COW headroom (sites:
+	// toolstack Env.PopulateGuest via the pressure gate). Recovery:
+	// the pressure window expires on its own; the serving plane maps
+	// the allocation failure to a typed capacity rejection instead of
+	// aborting. Opt-in like KindToolstackCrash: it changes workload
+	// outcomes, so only pressure-aware drivers name it.
+	KindMemPressure
+	// KindStoreQuota exhausts a domain's XenStore node/watch quota at
+	// the daemon: the next quota-charged operation is refused with the
+	// typed *xenstore.ErrQuotaExceeded (sites: xl/chaos create store
+	// sections, xenstore WriteAsGuest/WatchAsGuest). Recovery: the
+	// create path rolls the half-built domain back; the serving plane
+	// sheds the request with RejectQuota. Opt-in.
+	KindStoreQuota
+	// KindRetryStorm makes a seeded fraction of rejected or timed-out
+	// requests re-arrive after a client backoff (site: traffic.Serve's
+	// completion handling), amplifying offered load exactly when the
+	// control plane is already behind — the metastable-failure
+	// feedback loop. Recovery: the admission-control defenses (retry
+	// budgets, adaptive limits). Opt-in.
+	KindRetryStorm
 
 	numKinds
 )
@@ -92,6 +125,7 @@ var kindNames = [...]string{
 	"txn-conflict", "store-stall", "handshake-stall",
 	"migration-drop", "daemon-crash", "host-failure",
 	"toolstack-crash", "host-slow", "partition", "host-flap",
+	"mem-pressure", "store-quota", "retry-storm",
 }
 
 func (k Kind) String() string {
@@ -150,14 +184,21 @@ func (p Plan) siteAllowed(site string) bool {
 	return false
 }
 
+// optInKinds only participate when named explicitly in Plan.Kinds:
+// KindToolstackCrash deliberately abandons an operation half-done, and
+// the overload kinds (mem pressure, store quota, retry storms) change
+// workload outcomes rather than just injecting latency. Keeping them
+// out of the empty-Kinds mask means existing rate sweeps (ext-faults,
+// ext-gray) keep their exact schedules and fault-oblivious drivers
+// never see torn state or shed work.
+const optInKinds = 1<<KindToolstackCrash |
+	1<<KindMemPressure | 1<<KindStoreQuota | 1<<KindRetryStorm
+
 // mask folds Kinds to a bitmask. Empty means "everything that is
-// safe to survive in-line": KindToolstackCrash deliberately abandons
-// an operation half-done, so it only participates when named
-// explicitly — existing rate sweeps (ext-faults) keep their exact
-// schedules and fault-oblivious drivers never see torn state.
+// safe to survive in-line" — see optInKinds for the exclusions.
 func (p Plan) mask() uint64 {
 	if len(p.Kinds) == 0 {
-		return (1<<numKinds - 1) &^ (1 << KindToolstackCrash)
+		return (1<<numKinds - 1) &^ optInKinds
 	}
 	var m uint64
 	for _, k := range p.Kinds {

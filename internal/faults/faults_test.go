@@ -357,3 +357,100 @@ func TestSiteAllowedRestrictsGrayKinds(t *testing.T) {
 		}
 	}
 }
+
+// TestKindEnumPinned pins every kind's numeric position and name: the
+// enum is append-only because decision streams are keyed by value, so
+// a reorder would silently shift every checked-in golden schedule.
+func TestKindEnumPinned(t *testing.T) {
+	want := []struct {
+		k    Kind
+		name string
+	}{
+		{KindTxnConflict, "txn-conflict"},
+		{KindStoreStall, "store-stall"},
+		{KindHandshakeStall, "handshake-stall"},
+		{KindMigrationDrop, "migration-drop"},
+		{KindDaemonCrash, "daemon-crash"},
+		{KindHostFailure, "host-failure"},
+		{KindToolstackCrash, "toolstack-crash"},
+		{KindHostSlow, "host-slow"},
+		{KindPartition, "partition"},
+		{KindHostFlap, "host-flap"},
+		{KindMemPressure, "mem-pressure"},
+		{KindStoreQuota, "store-quota"},
+		{KindRetryStorm, "retry-storm"},
+	}
+	if int(numKinds) != len(want) {
+		t.Fatalf("numKinds = %d, want %d — append new kinds to this table", int(numKinds), len(want))
+	}
+	for i, w := range want {
+		if int(w.k) != i {
+			t.Fatalf("%s has value %d, want %d — the enum is append-only", w.name, int(w.k), i)
+		}
+		if w.k.String() != w.name {
+			t.Fatalf("%d.String() = %q, want %q", i, w.k.String(), w.name)
+		}
+	}
+}
+
+// TestOverloadKindsOptInOnly: the resource-exhaustion kinds change
+// workload outcomes (failed creations, shed requests, amplified load),
+// so like KindToolstackCrash they must not ride the empty-Kinds mask —
+// that is what keeps every pre-existing figure's schedule and golden
+// byte-identical.
+func TestOverloadKindsOptInOnly(t *testing.T) {
+	newKinds := []Kind{KindMemPressure, KindStoreQuota, KindRetryStorm}
+	in := New(sim.NewClock(), 3, Plan{Rate: 1})
+	for _, k := range newKinds {
+		if in.Enabled(k) {
+			t.Fatalf("%v enabled by an empty-Kinds plan", k)
+		}
+		for i := 0; i < 50; i++ {
+			if in.Fire(k) {
+				t.Fatalf("%v fired under an empty-Kinds plan", k)
+			}
+		}
+		if in.Opportunities(k) != 0 {
+			t.Fatalf("masked %v consumed stream positions", k)
+		}
+	}
+	// Named explicitly, each fires like any other kind, and its stream
+	// is independent of the legacy kinds'.
+	in = New(sim.NewClock(), 3, Plan{Rate: 1, Kinds: newKinds})
+	for _, k := range newKinds {
+		if !in.Enabled(k) || !in.Fire(k) {
+			t.Fatalf("rate-1 explicit plan did not fire %v", k)
+		}
+	}
+}
+
+// TestAppendedKindsDoNotShiftLegacyStreams: drawing from the new
+// kinds' streams must leave every legacy kind's decision sequence
+// byte-identical — each kind owns its own splitmix stream, so the
+// append is invisible to existing consumers.
+func TestAppendedKindsDoNotShiftLegacyStreams(t *testing.T) {
+	legacy := []Kind{KindTxnConflict, KindStoreStall, KindDaemonCrash, KindHostFlap}
+	ref := New(sim.NewClock(), 17, Plan{Rate: 0.5})
+	var want [][]bool
+	for _, k := range legacy {
+		var seq []bool
+		for i := 0; i < 200; i++ {
+			seq = append(seq, ref.Fire(k))
+		}
+		want = append(want, seq)
+	}
+	// Interleave heavy traffic on the new kinds with the legacy draws.
+	all := append(append([]Kind{}, legacy...), KindMemPressure, KindStoreQuota, KindRetryStorm)
+	in := New(sim.NewClock(), 17, Plan{Rate: 0.5, Kinds: all})
+	for i := 0; i < 200; i++ {
+		in.Fire(KindRetryStorm)
+		in.Jitter(KindRetryStorm, sim.Duration(1e9))
+		for j, k := range legacy {
+			if got := in.Fire(k); got != want[j][i] {
+				t.Fatalf("%v decision %d shifted after appending new kinds", k, i)
+			}
+		}
+		in.Fire(KindMemPressure)
+		in.Fraction(KindStoreQuota)
+	}
+}

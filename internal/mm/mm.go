@@ -55,6 +55,13 @@ type Allocator struct {
 	// on the host. Extent counts per owner are small, so the linear
 	// removal in Free stays cheap.
 	byOwner map[Owner][]PFN
+	// pressure withholds pages from the allocator's headroom without
+	// touching the free lists: an allocation that would leave fewer
+	// than this many pages free fails with ErrOutOfMemory. It models
+	// dom0/host memory pressure (a balloon inflating, a noisy
+	// neighbor) deterministically — no extents change hands, so the
+	// buddy structure and every invariant stay exactly as they were.
+	pressure uint64
 }
 
 // New creates an allocator managing totalBytes of host memory, rounded
@@ -100,6 +107,21 @@ func (a *Allocator) UsedBytes() uint64 {
 // OwnerBytes reports bytes currently held by owner.
 func (a *Allocator) OwnerBytes(o Owner) uint64 { return a.usage[o] * PageSize }
 
+// SetPressurePages withholds n pages from the allocation headroom:
+// while set, any allocation that would leave fewer than n pages free
+// fails with ErrOutOfMemory. Pass 0 to release the pressure. The
+// withheld pages are never handed out and never enter the free lists'
+// accounting, so this is reversible and invariant-neutral.
+func (a *Allocator) SetPressurePages(n uint64) {
+	if n > a.totalPages {
+		n = a.totalPages
+	}
+	a.pressure = n
+}
+
+// PressurePages reports the currently withheld headroom.
+func (a *Allocator) PressurePages() uint64 { return a.pressure }
+
 // Owners returns all owners with live allocations, sorted.
 func (a *Allocator) Owners() []Owner {
 	out := make([]Owner, 0, len(a.usage))
@@ -110,6 +132,13 @@ func (a *Allocator) Owners() []Owner {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // orderFor returns the smallest order whose block covers pages.
@@ -134,6 +163,9 @@ func (a *Allocator) AllocPages(pages uint64, o Owner) (Extent, error) {
 	order, err := orderFor(pages)
 	if err != nil {
 		return Extent{}, err
+	}
+	if a.pressure > 0 && uint64(1)<<order > a.freePages-minU64(a.pressure, a.freePages) {
+		return Extent{}, ErrOutOfMemory
 	}
 	// Find the smallest order with a free block.
 	from := order

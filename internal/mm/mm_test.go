@@ -266,3 +266,51 @@ func BenchmarkAllocFree8MB(b *testing.B) {
 		}
 	}
 }
+
+// TestPressureWithholdsHeadroom: SetPressurePages must make requests
+// that would dip into the withheld reserve fail with ErrOutOfMemory,
+// leave the buddy structure untouched, and be fully reversible.
+func TestPressureWithholdsHeadroom(t *testing.T) {
+	a := newTest(4) // 1024 pages
+	total := a.TotalPages()
+	a.SetPressurePages(total - 64)
+	if a.PressurePages() != total-64 {
+		t.Fatalf("PressurePages = %d", a.PressurePages())
+	}
+	if _, err := a.AllocPages(128, 1); err != ErrOutOfMemory {
+		t.Fatalf("alloc into the reserve: err = %v, want ErrOutOfMemory", err)
+	}
+	e, err := a.AllocPages(64, 1)
+	if err != nil {
+		t.Fatalf("alloc within headroom failed: %v", err)
+	}
+	if _, err := a.AllocPages(1, 1); err != ErrOutOfMemory {
+		t.Fatalf("headroom exhausted but alloc succeeded: err = %v", err)
+	}
+	a.SetPressurePages(0)
+	e2, err := a.AllocPages(128, 1)
+	if err != nil {
+		t.Fatalf("alloc after release failed: %v", err)
+	}
+	if err := a.Free(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(e2); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreePages() != total {
+		t.Fatalf("pressure leaked pages: free %d/%d", a.FreePages(), total)
+	}
+	if err := a.checkInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	// Clamped to the machine: withholding more than total is total.
+	a.SetPressurePages(total * 2)
+	if a.PressurePages() != total {
+		t.Fatalf("pressure not clamped: %d", a.PressurePages())
+	}
+	if _, err := a.AllocPages(1, 1); err != ErrOutOfMemory {
+		t.Fatalf("full pressure but alloc succeeded: err = %v", err)
+	}
+	a.SetPressurePages(0)
+}

@@ -131,6 +131,10 @@ func (c *Chaos) Create(name string, img guest.Image) (*VM, error) {
 
 		if us {
 			// chaos keeps only the handful of entries guests need.
+			mark(&bd.XenStore, func() { retErr = e.storeQuotaGate(vm.Dom.ID, "chaos.create.store") })
+			if retErr != nil {
+				return
+			}
 			mark(&bd.XenStore, func() {
 				domPath := xenbus.DomainPath(vm.Dom.ID)
 				e.Store.Write(domPath+"/name", name)

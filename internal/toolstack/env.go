@@ -158,6 +158,11 @@ type Env struct {
 	// dead marks a host killed by a simulated whole-machine failure:
 	// its frozen state is excluded from FsckTracked audits.
 	dead bool
+
+	// Memory-pressure episode state (pressure.go): how many pages the
+	// simulated dom0 balloon is withholding and until when.
+	pressurePages uint64
+	pressureUntil sim.Time
 }
 
 // NewEnv wires a complete Dom0 on machine with hostMem bytes of RAM.
@@ -357,9 +362,14 @@ func (e *Env) UnpauseVM(vm *VM) error {
 // PopulateGuest populates a fresh domain's memory for an image. With
 // MemDedup enabled, unikernel guests share the image-resident pages
 // plus half of their (initially zero) heap; everything else is
-// populated privately as on stock Xen.
+// populated privately as on stock Xen. Under a memory-pressure
+// episode (pressure.go) the share pool has no COW headroom left, so
+// dedup'd populations fall back to private memory — and may then fail
+// outright against the shrunken headroom.
 func (e *Env) PopulateGuest(id hv.DomID, img guest.Image) error {
-	if e.MemDedup && img.Kind == guest.Unikernel && img.TotalSize() < img.MemBytes {
+	e.memPressureGate(img)
+	if e.MemDedup && !e.UnderMemPressure() &&
+		img.Kind == guest.Unikernel && img.TotalSize() < img.MemBytes {
 		shared := img.TotalSize() + (img.MemBytes-img.TotalSize())/2
 		private := img.MemBytes - shared
 		if private > 0 {

@@ -1,0 +1,91 @@
+package toolstack
+
+import (
+	"time"
+
+	"lightvm/internal/faults"
+	"lightvm/internal/guest"
+	"lightvm/internal/hv"
+	"lightvm/internal/mm"
+	"lightvm/internal/xenstore"
+)
+
+// Memory-pressure episodes (faults.KindMemPressure): the simulated
+// dom0 balloon — standing in for a log burst, a cache filling, a noisy
+// management daemon — inflates and withholds almost all of the host's
+// free pages for a while. Guest creations during the episode fail with
+// mm.ErrOutOfMemory (the serving plane maps that to a typed capacity
+// rejection), and dedup'd populations lose their COW headroom, so they
+// fall back to private memory exactly as a real share pool under
+// pressure breaks COW. The balloon never allocates real extents —
+// mm.SetPressurePages only shrinks headroom — so the buddy structure,
+// the fsck invariants and every owner ledger stay untouched.
+
+// Pressure-episode shape: the balloon leaves only a sliver of headroom
+// (a deterministic multiple of the image being populated, so some
+// creations may still squeeze through) and deflates after a base
+// duration plus seeded jitter.
+const (
+	pressureHeadroomImages = 4
+	pressureBaseDur        = 100 * time.Millisecond
+	pressureJitterMax      = 400 * time.Millisecond
+)
+
+// memPressureGate is consulted once per guest-population opportunity.
+// It expires a finished episode, and — when the fault plane says so —
+// starts a new one sized against img. Episodes do not overlap: while
+// the balloon is inflated no new decisions are drawn, so the stream
+// advances one position per populate attempt outside an episode.
+func (e *Env) memPressureGate(img guest.Image) {
+	in := e.Faults
+	if !in.Enabled(faults.KindMemPressure) {
+		return
+	}
+	now := e.Clock.Now()
+	if e.pressurePages > 0 {
+		if now < e.pressureUntil {
+			return
+		}
+		e.HV.Mem.SetPressurePages(0)
+		e.pressurePages = 0
+	}
+	if !in.FireSite(faults.KindMemPressure, "mm.populate") {
+		return
+	}
+	free := e.HV.Mem.FreePages()
+	headroom := (in.Fraction(faults.KindMemPressure) * pressureHeadroomImages *
+		float64(img.MemBytes)) / float64(mm.PageSize)
+	withhold := uint64(0)
+	if h := uint64(headroom); free > h {
+		withhold = free - h
+	}
+	if withhold == 0 {
+		return
+	}
+	e.pressurePages = withhold
+	e.pressureUntil = now.Add(pressureBaseDur + in.Jitter(faults.KindMemPressure, pressureJitterMax))
+	e.HV.Mem.SetPressurePages(withhold)
+}
+
+// UnderMemPressure reports whether a pressure episode is currently
+// holding the balloon inflated.
+func (e *Env) UnderMemPressure() bool { return e.pressurePages > 0 }
+
+// storeQuotaGate is the create-path injection site for
+// faults.KindStoreQuota: when it fires, the store daemon refuses the
+// domain's registry writes as if the domain were at its node quota.
+// One daemon round trip is charged (the cost of being told no) and
+// the typed refusal propagates out of Create, where the normal error
+// path rolls the half-built domain back — the caller sees a clean
+// *xenstore.ErrQuotaExceeded, never torn state.
+func (e *Env) storeQuotaGate(id hv.DomID, site string) error {
+	if !e.Faults.Enabled(faults.KindStoreQuota) {
+		return nil
+	}
+	if !e.Faults.FireSite(faults.KindStoreQuota, site) {
+		return nil
+	}
+	e.Store.ChargeRefusal()
+	return &xenstore.ErrQuotaExceeded{Domain: int(id), Resource: "nodes",
+		Limit: xenstore.DefaultNodeQuota, Used: xenstore.DefaultNodeQuota}
+}

@@ -99,6 +99,10 @@ func (x *XL) Create(name string, img guest.Image) (*VM, error) {
 
 		// 4. XenStore preamble: the domain's registry entries, the
 		// unique-name check, and libxl's many state re-reads.
+		mark(&bd.XenStore, func() { retErr = e.storeQuotaGate(dom.ID, "xl.create.store") })
+		if retErr != nil {
+			return
+		}
 		mark(&bd.XenStore, func() {
 			domPath := xenbus.DomainPath(dom.ID)
 			retErr = e.Store.Txn(8, func(tx *xenstore.Tx) error {

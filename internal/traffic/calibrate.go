@@ -1,0 +1,69 @@
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"lightvm/internal/container"
+	"lightvm/internal/core"
+	"lightvm/internal/guest"
+	"lightvm/internal/sched"
+)
+
+// EstimateCapacity measures a mode's sustainable request rate: the
+// control-plane cost of one full request cycle (create, answer,
+// destroy) on an otherwise idle scratch host, inverted to requests per
+// second. The overload study sets its offered-load multipliers against
+// this number, so "2× capacity" means the same thing for an 8ms chaos
+// create and an 80ms xl create. Deterministic: the scratch host runs
+// on its own clock with a fixed seed, so the estimate is a pure
+// function of (mode, img).
+func EstimateCapacity(mode Mode, img guest.Image) (float64, error) {
+	const cycles = 4
+	machine := sched.Machine{Name: "calibrate", Cores: 8, Dom0Cores: 1, MemoryGB: 32}
+	h, err := core.NewHost(machine, 1)
+	if err != nil {
+		return 0, err
+	}
+	h.Env.Store.LoggingEnabled = false
+	h.Env.Pool.SetTarget(0)
+	if img.Name == "" {
+		img = guest.Daytime()
+	}
+	img.BootWork = time.Microsecond // boot rides the guest cores, as in Serve
+	tsMode := modeToolstack(mode)
+	begin := h.Clock.Now()
+	for i := 0; i < cycles; i++ {
+		switch mode {
+		case Container:
+			c, err := h.Docker.Run(container.MicropythonImage().Name)
+			if err != nil {
+				return 0, err
+			}
+			if err := h.Docker.Stop(c.ID); err != nil {
+				return 0, err
+			}
+		case Process:
+			if _, err := h.Procs.Spawn(0); err != nil {
+				return 0, err
+			}
+		default:
+			// Create + destroy only: the serving loop's app call rides
+			// the guest, not the control plane, so pinging here would
+			// overstate the per-request cost and understate capacity.
+			name := fmt.Sprintf("cal%d", i)
+			vm, err := h.CreateVM(tsMode, name, img)
+			if err != nil {
+				return 0, fmt.Errorf("traffic: calibrate create: %w", err)
+			}
+			if err := h.DestroyVM(vm); err != nil {
+				return 0, fmt.Errorf("traffic: calibrate destroy: %w", err)
+			}
+		}
+	}
+	perReq := h.Clock.Now().Sub(begin) / cycles
+	if perReq <= 0 {
+		return 0, fmt.Errorf("traffic: calibration measured no cost for mode %v", mode)
+	}
+	return float64(time.Second) / float64(perReq), nil
+}

@@ -9,11 +9,14 @@ import (
 	"lightvm/internal/container"
 	"lightvm/internal/core"
 	"lightvm/internal/costs"
+	"lightvm/internal/faults"
 	"lightvm/internal/guest"
 	"lightvm/internal/metrics"
+	"lightvm/internal/mm"
 	"lightvm/internal/sched"
 	"lightvm/internal/sim"
 	"lightvm/internal/toolstack"
+	"lightvm/internal/xenstore"
 )
 
 // Mode selects the serving backend a request lands on.
@@ -35,9 +38,14 @@ const (
 	Container
 	// Process fork/execs a plain process per request.
 	Process
+	// VMPerRequestXL is VMPerRequest on the stock toolstack (xl +
+	// full XenStore registry) — the overload study's "what the paper
+	// started from" arm. Appended after the original modes so their
+	// numbering (and every existing figure) is untouched.
+	VMPerRequestXL
 )
 
-var modeNames = [...]string{"vm", "pool-reactive", "pool-predictive", "container", "process"}
+var modeNames = [...]string{"vm", "pool-reactive", "pool-predictive", "container", "process", "vm-xl"}
 
 func (m Mode) String() string {
 	if m < 0 || int(m) >= len(modeNames) {
@@ -58,15 +66,27 @@ const (
 	// deadline anyway, so it is shed at admission.
 	RejectBacklog RejectReason = iota
 	// RejectCapacity: the backend refused the work outright (the
-	// container engine hitting its memory wall is the canonical case).
+	// container engine hitting its memory wall, or a guest creation
+	// failing against a memory-pressure episode).
 	RejectCapacity
+	// RejectOverload: the adaptive admission limiter (or the priority
+	// shedder) turned the request away — defenses doing their job, as
+	// opposed to the static deadline blowing.
+	RejectOverload
+	// RejectQuota: the store daemon refused the domain's registry
+	// writes with a typed quota exhaustion.
+	RejectQuota
+	// RejectBudget: a retry arrived with the retry budget dry.
+	RejectBudget
 )
 
+var rejectNames = [...]string{"backlog", "capacity", "overload", "quota", "retry-budget"}
+
 func (r RejectReason) String() string {
-	if r == RejectCapacity {
-		return "capacity"
+	if r >= 0 && int(r) < len(rejectNames) {
+		return rejectNames[r]
 	}
-	return "backlog"
+	return "unknown"
 }
 
 // Reject is the typed admission-backpressure error: the request was
@@ -125,8 +145,44 @@ type Config struct {
 	// pathology, and no production serving path would run with it.
 	KeepStoreLogs bool
 
+	// FaultPlan, when its Rate is non-zero, arms the host's fault
+	// plane for this run. The overload kinds are opt-in: name
+	// KindRetryStorm to make a seeded fraction of rejected/timed-out
+	// requests re-arrive after a client backoff, KindMemPressure /
+	// KindStoreQuota for the resource-exhaustion faults.
+	FaultPlan faults.Plan
+
+	// Defense toggles the overload defenses (defense.go). The zero
+	// value reproduces the undefended plane bit for bit.
+	Defense Defense
+
+	// MaxAttempts bounds a request's total attempts (first try +
+	// storm retries). Default 4.
+	MaxAttempts int
+	// RetryBackoff is the client's base backoff before a storm retry;
+	// doubled per attempt, plus seeded jitter. Default Timeout/4.
+	RetryBackoff time.Duration
+
+	// PhaseBounds carves the run into accounting phases at these
+	// offsets from the first arrival (e.g. pre-burst/burst/post-burst
+	// boundaries); Stats.Phases gets len(PhaseBounds)+1 buckets keyed
+	// by each request's arrival time. Empty leaves Phases nil.
+	PhaseBounds []time.Duration
+
 	// hook observes each served request's latency (tests only).
 	hook func(k int, lat time.Duration)
+}
+
+// PhaseStats is one accounting phase's slice of the run (see
+// Config.PhaseBounds). Goodput is Good over the phase's wall time.
+type PhaseStats struct {
+	Arrived  int // all arrivals landing in the phase (fresh + retries)
+	Fresh    int
+	Retried  int // retry re-arrivals
+	Served   int
+	Good     int // served within the client deadline
+	TimedOut int
+	Rejected int
 }
 
 // Stats is one run's outcome. Latency only holds served requests;
@@ -139,6 +195,29 @@ type Stats struct {
 	Rejected         int // shed at admission
 	RejectedBacklog  int
 	RejectedCapacity int
+	RejectedOverload int // adaptive limiter / priority shedder
+	RejectedQuota    int
+	RejectedBudget   int // retries refused by the retry budget
+
+	// Retry-storm accounting: re-arrivals admitted into the loop and
+	// re-arrivals the storm scheduled (admitted + still queued +
+	// budget-dropped).
+	Retries        int
+	RetryScheduled int
+
+	// Two-priority shedding: rejections by request class.
+	ShedPaid  int
+	ShedBatch int
+
+	// Brownout accounting: responses served from the degraded image,
+	// time spent in each degraded state, and state-ladder transitions.
+	DegradedServed int
+	BrownoutTime   time.Duration
+	SheddingTime   time.Duration
+	StateChanges   int
+
+	// Phases buckets the run by Config.PhaseBounds (nil when unset).
+	Phases []PhaseStats
 
 	Latency  metrics.Histogram
 	Warm     []int // shells-warm samples over time (every WarmEvery arrivals)
@@ -163,8 +242,9 @@ func (s *Stats) RejectRate() float64 {
 }
 
 // Merge folds another run's stats into s (per-host runs into a fleet
-// aggregate). Warm samples are summed index-wise: the fleet's warm
-// trajectory is the sum of the hosts'.
+// aggregate). Warm samples and phase buckets are summed index-wise;
+// the state-time durations sum (aggregate host-time in each state);
+// Elapsed is the max (hosts run concurrently).
 func (s *Stats) Merge(o *Stats) {
 	s.Arrived += o.Arrived
 	s.Served += o.Served
@@ -172,6 +252,17 @@ func (s *Stats) Merge(o *Stats) {
 	s.Rejected += o.Rejected
 	s.RejectedBacklog += o.RejectedBacklog
 	s.RejectedCapacity += o.RejectedCapacity
+	s.RejectedOverload += o.RejectedOverload
+	s.RejectedQuota += o.RejectedQuota
+	s.RejectedBudget += o.RejectedBudget
+	s.Retries += o.Retries
+	s.RetryScheduled += o.RetryScheduled
+	s.ShedPaid += o.ShedPaid
+	s.ShedBatch += o.ShedBatch
+	s.DegradedServed += o.DegradedServed
+	s.BrownoutTime += o.BrownoutTime
+	s.SheddingTime += o.SheddingTime
+	s.StateChanges += o.StateChanges
 	s.AppCalls += o.AppCalls
 	s.Latency.Merge(&o.Latency)
 	if o.Elapsed > s.Elapsed {
@@ -182,6 +273,19 @@ func (s *Stats) Merge(o *Stats) {
 			s.Warm[i] += w
 		} else {
 			s.Warm = append(s.Warm, w)
+		}
+	}
+	for i, p := range o.Phases {
+		if i < len(s.Phases) {
+			s.Phases[i].Arrived += p.Arrived
+			s.Phases[i].Fresh += p.Fresh
+			s.Phases[i].Retried += p.Retried
+			s.Phases[i].Served += p.Served
+			s.Phases[i].Good += p.Good
+			s.Phases[i].TimedOut += p.TimedOut
+			s.Phases[i].Rejected += p.Rejected
+		} else {
+			s.Phases = append(s.Phases, p)
 		}
 	}
 }
@@ -236,6 +340,22 @@ func Serve(cfg Config) (*Stats, *core.Host, error) {
 	if program == "" {
 		program = defaultProgram
 	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 4
+	}
+	retryBackoff := cfg.RetryBackoff
+	if retryBackoff <= 0 {
+		retryBackoff = timeout / 4
+	}
+	d := cfg.Defense
+	if d.LatencyTarget <= 0 {
+		d.LatencyTarget = timeout / 2
+	}
+	batchFrac := d.BatchFraction
+	if d.PriorityShed && batchFrac <= 0 {
+		batchFrac = 0.25
+	}
 
 	h, err := core.NewHost(machine, cfg.Seed)
 	if err != nil {
@@ -244,13 +364,15 @@ func Serve(cfg Config) (*Stats, *core.Host, error) {
 	if !cfg.KeepStoreLogs {
 		h.Env.Store.LoggingEnabled = false
 	}
-
-	tsMode := toolstack.ModeChaosXS
-	if cfg.Mode.UsesPool() {
-		tsMode = toolstack.ModeChaosSplit
+	if cfg.FaultPlan.Rate > 0 {
+		h.Env.SetFaults(faults.New(h.Clock, cfg.Seed, cfg.FaultPlan))
 	}
+	in := h.Env.Faults // nil without a plan; nil injectors never fire
+
+	tsMode := modeToolstack(cfg.Mode)
 	bootWork := img.BootWork
 	img.BootWork = time.Microsecond
+	degImg := brownoutImage(img)
 
 	var scaler *toolstack.Autoscaler
 	var flavor toolstack.Flavor
@@ -281,36 +403,147 @@ func Serve(cfg Config) (*Stats, *core.Host, error) {
 	const appWork = 2*costs.BridgeForward + costs.PingProcess
 
 	st := &Stats{Mode: cfg.Mode}
-	reqIdx := 0
-	observe := func(lat time.Duration) {
-		st.Latency.Observe(lat)
-		st.Served++
-		if lat > timeout {
-			st.TimedOut++
-		}
-		if cfg.hook != nil {
-			cfg.hook(reqIdx, lat)
-		}
+	if len(cfg.PhaseBounds) > 0 {
+		st.Phases = make([]PhaseStats, len(cfg.PhaseBounds)+1)
 	}
-	reject := func(r *Reject) {
-		st.Rejected++
-		if r.Reason == RejectCapacity {
-			st.RejectedCapacity++
-		} else {
-			st.RejectedBacklog++
-		}
+
+	var lim *aimdLimiter
+	if d.AdaptiveAdmit {
+		lim = newAIMDLimiter(d.LatencyTarget, maxBacklog)
+	}
+	var budget *retryBudget
+	if d.RetryBudget > 0 {
+		budget = newRetryBudget(d.RetryBudget)
+	}
+	var classRNG *sim.RNG
+	if batchFrac > 0 {
+		classRNG = sim.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15)
 	}
 
 	// Traffic opens once the host is ready: the pool prime ran on the
 	// clock, and no real deployment points the load balancer at a host
 	// mid-warmup.
-	arrive := h.Clock.Now()
+	start := h.Clock.Now()
+	var gauge *stateGauge
+	if d.Brownout || d.PriorityShed {
+		gauge = newStateGauge(d.LatencyTarget, start)
+	}
+	phaseOf := func(at sim.Time) *PhaseStats {
+		if st.Phases == nil {
+			return nil
+		}
+		rel := at.Sub(start)
+		i := 0
+		for i < len(cfg.PhaseBounds) && rel >= cfg.PhaseBounds[i] {
+			i++
+		}
+		return &st.Phases[i]
+	}
+
+	reqIdx := 0
+	observe := func(ph *PhaseStats, lat time.Duration) {
+		st.Latency.Observe(lat)
+		st.Served++
+		if lat > timeout {
+			st.TimedOut++
+		}
+		if ph != nil {
+			ph.Served++
+			if lat > timeout {
+				ph.TimedOut++
+			} else {
+				ph.Good++
+			}
+		}
+		if lim != nil {
+			lim.observe(lat)
+		}
+		if cfg.hook != nil {
+			cfg.hook(reqIdx, lat)
+		}
+	}
+	reject := func(ph *PhaseStats, class Class, r *Reject) {
+		st.Rejected++
+		switch r.Reason {
+		case RejectCapacity:
+			st.RejectedCapacity++
+		case RejectOverload:
+			st.RejectedOverload++
+		case RejectQuota:
+			st.RejectedQuota++
+		case RejectBudget:
+			st.RejectedBudget++
+		default:
+			st.RejectedBacklog++
+		}
+		if batchFrac > 0 {
+			if class == ClassBatch {
+				st.ShedBatch++
+			} else {
+				st.ShedPaid++
+			}
+		}
+		if ph != nil {
+			ph.Rejected++
+		}
+	}
+
+	// The retry storm's client backoff queue: re-arrivals merge with
+	// fresh traffic in virtual-time order. Heap order is (time, seq),
+	// both deterministic, so per-shard replay is byte-identical.
+	var retries retryHeap
+	retrySeq := 0
+	scheduleRetry := func(from sim.Time, orig, attempt int, class Class) {
+		if attempt >= maxAttempts || !in.Fire(faults.KindRetryStorm) {
+			return
+		}
+		backoff := retryBackoff << uint(attempt-1)
+		backoff += in.Jitter(faults.KindRetryStorm, retryBackoff)
+		retries.push(retryReq{at: from.Add(backoff), seq: retrySeq, orig: orig, attempt: attempt + 1, class: class})
+		retrySeq++
+		st.RetryScheduled++
+	}
+
 	sinceTick := 0
-	for k := 0; k < cfg.Requests; k++ {
+	freshLeft := cfg.Requests
+	k := -1 // index of the current fresh arrival
+	freshAt := start.Add(cfg.Arrivals.Next())
+	for freshLeft > 0 || len(retries) > 0 {
+		var arrive sim.Time
+		var class Class
+		attempt, orig, isRetry := 1, 0, false
+		if len(retries) > 0 && (freshLeft == 0 || retries[0].at <= freshAt) {
+			rr := retries.pop()
+			arrive, orig, attempt, class, isRetry = rr.at, rr.orig, rr.attempt, rr.class, true
+		} else {
+			k++
+			freshLeft--
+			arrive, orig = freshAt, k
+			if freshLeft > 0 {
+				freshAt = freshAt.Add(cfg.Arrivals.Next())
+			}
+			if classRNG != nil && classRNG.Float64() < batchFrac {
+				class = ClassBatch
+			}
+			if budget != nil {
+				budget.earn()
+			}
+		}
 		reqIdx = k
-		arrive = arrive.Add(cfg.Arrivals.Next())
 		st.Arrived++
 		sinceTick++
+		ph := phaseOf(arrive)
+		if ph != nil {
+			ph.Arrived++
+			if isRetry {
+				ph.Retried++
+			} else {
+				ph.Fresh++
+			}
+		}
+		if isRetry {
+			st.Retries++
+		}
 		if h.Clock.Now() < arrive {
 			// Idle gap: the daemon gets the CPU until the next arrival
 			// (the replenish beat yields to foreground work at the
@@ -323,7 +556,7 @@ func Serve(cfg Config) (*Stats, *core.Host, error) {
 			}
 			h.Clock.AdvanceTo(arrive)
 		}
-		if k%warmEvery == 0 {
+		if !isRetry && k%warmEvery == 0 {
 			w := 0
 			if cfg.Mode.UsesPool() {
 				w = h.Env.Pool.Available(flavor)
@@ -331,8 +564,33 @@ func Serve(cfg Config) (*Stats, *core.Host, error) {
 			st.Warm = append(st.Warm, w)
 		}
 		backlog := h.Clock.Now().Sub(arrive)
-		if backlog > maxBacklog {
-			reject(&Reject{Reason: RejectBacklog, Backlog: backlog})
+		limit := maxBacklog
+		if lim != nil {
+			limit = lim.limit
+		}
+		state := StateNormal
+		if gauge != nil {
+			state = gauge.observe(h.Clock.Now(), backlog, limit)
+		}
+		if isRetry && budget != nil && !budget.spend() {
+			// Budget dry: the retry is refused at the front door and —
+			// unlike every other rejection — not retried again, which
+			// is exactly how the budget breaks the feedback loop.
+			reject(ph, class, &Reject{Reason: RejectBudget, Backlog: backlog})
+			continue
+		}
+		if d.PriorityShed && class == ClassBatch && state != StateNormal {
+			reject(ph, class, &Reject{Reason: RejectOverload, Backlog: backlog})
+			scheduleRetry(h.Clock.Now(), orig, attempt, class)
+			continue
+		}
+		if backlog > limit {
+			reason := RejectBacklog
+			if lim != nil {
+				reason = RejectOverload
+			}
+			reject(ph, class, &Reject{Reason: reason, Backlog: backlog})
+			scheduleRetry(h.Clock.Now(), orig, attempt, class)
 			continue
 		}
 
@@ -342,13 +600,17 @@ func Serve(cfg Config) (*Stats, *core.Host, error) {
 			if err != nil {
 				// The engine saying no (memory wall, daemon-table
 				// growth) is backpressure, not a simulation bug.
-				reject(&Reject{Reason: RejectCapacity, Backlog: backlog, Cause: err})
+				reject(ph, class, &Reject{Reason: RejectCapacity, Backlog: backlog, Cause: err})
+				scheduleRetry(h.Clock.Now(), orig, attempt, class)
 				continue
 			}
 			lat := h.Clock.Now().Sub(arrive) + appWork
-			observe(lat)
+			observe(ph, lat)
+			if lat > timeout {
+				scheduleRetry(arrive.Add(timeout), orig, attempt, class)
+			}
 			for r := 1; r < perSession; r++ {
-				observe(appWork)
+				observe(ph, appWork)
 				st.Arrived++
 			}
 			if err := h.Docker.Stop(c.ID); err != nil {
@@ -356,20 +618,46 @@ func Serve(cfg Config) (*Stats, *core.Host, error) {
 			}
 		case Process:
 			if _, err := h.Procs.Spawn(0); err != nil {
-				reject(&Reject{Reason: RejectCapacity, Backlog: backlog, Cause: err})
+				reject(ph, class, &Reject{Reason: RejectCapacity, Backlog: backlog, Cause: err})
+				scheduleRetry(h.Clock.Now(), orig, attempt, class)
 				continue
 			}
 			lat := h.Clock.Now().Sub(arrive) + appWork
-			observe(lat)
+			observe(ph, lat)
+			if lat > timeout {
+				scheduleRetry(arrive.Add(timeout), orig, attempt, class)
+			}
 			for r := 1; r < perSession; r++ {
-				observe(appWork)
+				observe(ph, appWork)
 				st.Arrived++
 			}
 		default: // the unikernel modes
-			name := fmt.Sprintf("req%d", k)
-			vm, err := h.CreateVM(tsMode, name, img)
+			useImg, degraded := img, false
+			if d.Brownout && state != StateNormal {
+				useImg, degraded = degImg, true
+			}
+			name := fmt.Sprintf("req%d", orig)
+			if isRetry {
+				name = fmt.Sprintf("req%d.%d", orig, attempt)
+			}
+			vm, err := h.CreateVM(tsMode, name, useImg)
 			if err != nil {
-				return nil, nil, fmt.Errorf("traffic: create %s: %w", name, err)
+				var qe *xenstore.ErrQuotaExceeded
+				switch {
+				case errors.Is(err, mm.ErrOutOfMemory):
+					// A pressure episode ate the headroom: typed
+					// capacity backpressure, the driver already rolled
+					// the half-built domain back.
+					reject(ph, class, &Reject{Reason: RejectCapacity, Backlog: backlog, Cause: err})
+					scheduleRetry(h.Clock.Now(), orig, attempt, class)
+					continue
+				case errors.As(err, &qe):
+					reject(ph, class, &Reject{Reason: RejectQuota, Backlog: backlog, Cause: err})
+					scheduleRetry(h.Clock.Now(), orig, attempt, class)
+					continue
+				default:
+					return nil, nil, fmt.Errorf("traffic: create %s: %w", name, err)
+				}
 			}
 			// The guest finishes booting bootWork later, on its own core.
 			ready := h.Clock.Now().Add(bootWork)
@@ -394,12 +682,19 @@ func Serve(cfg Config) (*Stats, *core.Host, error) {
 			if err := call(); err != nil {
 				return nil, nil, err
 			}
-			observe(ready.Sub(arrive) + appWork)
+			if degraded {
+				st.DegradedServed++
+			}
+			lat := ready.Sub(arrive) + appWork
+			observe(ph, lat)
+			if lat > timeout {
+				scheduleRetry(arrive.Add(timeout), orig, attempt, class)
+			}
 			for r := 1; r < perSession; r++ {
 				if err := call(); err != nil {
 					return nil, nil, err
 				}
-				observe(appWork)
+				observe(ph, appWork)
 				st.Arrived++
 			}
 			// Teardown rides the control plane after the response — it
@@ -409,6 +704,24 @@ func Serve(cfg Config) (*Stats, *core.Host, error) {
 			}
 		}
 	}
+	if gauge != nil {
+		gauge.flush(h.Clock.Now())
+		st.BrownoutTime = gauge.inState[StateBrownout]
+		st.SheddingTime = gauge.inState[StateShedding]
+		st.StateChanges = gauge.changes
+	}
 	st.Elapsed = h.Clock.Now().Sub(sim.Time(0))
 	return st, h, nil
+}
+
+// modeToolstack maps a serving mode to the toolstack driving it.
+func modeToolstack(m Mode) toolstack.Mode {
+	switch {
+	case m.UsesPool():
+		return toolstack.ModeChaosSplit
+	case m == VMPerRequestXL:
+		return toolstack.ModeXL
+	default:
+		return toolstack.ModeChaosXS
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lightvm/internal/costs"
+	"lightvm/internal/faults"
 	"lightvm/internal/sim"
 )
 
@@ -42,11 +43,34 @@ func (v Variant) String() string {
 // connection-scan costs for the C implementation.
 const cxenstoredFactor = 3
 
-// ErrQuota is returned when a domain exceeds its node quota.
+// ErrQuota is the sentinel all quota refusals match via errors.Is.
 var ErrQuota = errors.New("xenstore: domain node quota exceeded")
 
 // DefaultNodeQuota mirrors xenstored's quota-nb-entries default.
 const DefaultNodeQuota = 1000
+
+// DefaultWatchQuota mirrors xenstored's quota-nb-watch-per-domain
+// default.
+const DefaultWatchQuota = 128
+
+// ErrQuotaExceeded is the typed quota refusal: which domain hit which
+// per-domain limit. It matches ErrQuota under errors.Is, so existing
+// sentinel checks keep working; overload-aware callers errors.As it to
+// turn the refusal into a typed rejection instead of a run abort.
+type ErrQuotaExceeded struct {
+	Domain   int
+	Resource string // "nodes" or "watches"
+	Limit    int
+	Used     int
+}
+
+func (e *ErrQuotaExceeded) Error() string {
+	return fmt.Sprintf("xenstore: domain %d %s quota exceeded (%d/%d)",
+		e.Domain, e.Resource, e.Used, e.Limit)
+}
+
+// Is makes every typed refusal match the ErrQuota sentinel.
+func (e *ErrQuotaExceeded) Is(target error) bool { return target == ErrQuota }
 
 // SetVariant switches the daemon implementation (affects every
 // subsequent operation's cost).
@@ -66,6 +90,30 @@ func (s *Store) variantFactor() sim.Duration {
 // SetNodeQuota sets the per-domain node limit (0 disables checks).
 func (s *Store) SetNodeQuota(limit int) { s.nodeQuota = limit }
 
+// SetWatchQuota sets the per-domain watch limit (0 disables checks).
+func (s *Store) SetWatchQuota(limit int) { s.watchQuota = limit }
+
+// OwnerWatches reports the watch count charged to a domain.
+func (s *Store) OwnerWatches(owner int) int { return s.ownerWatches[owner] }
+
+// ChargeRefusal charges one daemon round trip — the cost of the
+// daemon refusing an operation. Quota injection sites outside the
+// store (the toolstack create paths) pay it before surfacing a typed
+// refusal, so an injected quota exhaustion costs what a real one does.
+func (s *Store) ChargeRefusal() { s.chargeOp(1) }
+
+// quotaFault consults the fault plane's store-quota kind: when it
+// fires, the daemon behaves as if the domain were already at its
+// limit for resource. One daemon round trip is charged — the cost of
+// being told no — and the typed refusal is returned.
+func (s *Store) quotaFault(owner int, resource string, limit, used int) error {
+	if s.Faults.Fire(faults.KindStoreQuota) {
+		s.chargeOp(1)
+		return &ErrQuotaExceeded{Domain: owner, Resource: resource, Limit: limit, Used: used}
+	}
+	return nil
+}
+
 // chargeQuota tracks per-owner node counts for quota enforcement.
 // Dom0 is never recorded: it is unquota'd, and keeping it out of the
 // ledger preserves the invariant CheckConsistency audits — for every
@@ -79,7 +127,8 @@ func (s *Store) chargeQuota(owner int, delta int) error {
 	}
 	next := s.ownerNodes[owner] + delta
 	if s.nodeQuota > 0 && next > s.nodeQuota {
-		return fmt.Errorf("%w: domain %d at %d nodes", ErrQuota, owner, s.ownerNodes[owner])
+		return &ErrQuotaExceeded{Domain: owner, Resource: "nodes",
+			Limit: s.nodeQuota, Used: s.ownerNodes[owner]}
 	}
 	s.ownerNodes[owner] = next
 	if next <= 0 {
@@ -133,6 +182,9 @@ func (s *Store) OwnerNodes(owner int) int { return s.ownerNodes[owner] }
 // returns ErrQuota without modifying the store when the quota would be
 // exceeded.
 func (s *Store) WriteAsGuest(owner int, path, value string) error {
+	if err := s.quotaFault(owner, "nodes", s.nodeQuota, s.OwnerNodes(owner)); err != nil {
+		return err
+	}
 	// Count how many nodes the write would create.
 	created := s.missingNodes(path)
 	if created > 0 {
@@ -143,6 +195,30 @@ func (s *Store) WriteAsGuest(owner int, path, value string) error {
 	}
 	s.WriteAs(owner, path, value)
 	return nil
+}
+
+// WatchAsGuest registers a guest-originated watch, subject to the
+// owner's watch quota (xenstored's quota-nb-watch-per-domain): the
+// registration is refused with a typed *ErrQuotaExceeded when the
+// domain is at its limit. Dom0 (owner 0) is unquota'd, as with nodes.
+func (s *Store) WatchAsGuest(owner int, path, token string, fn WatchFn) (WatchID, error) {
+	if err := s.quotaFault(owner, "watches", s.watchQuota, s.ownerWatches[owner]); err != nil {
+		return 0, err
+	}
+	if owner != 0 && s.watchQuota > 0 && s.ownerWatches[owner] >= s.watchQuota {
+		s.chargeOp(1)
+		return 0, &ErrQuotaExceeded{Domain: owner, Resource: "watches",
+			Limit: s.watchQuota, Used: s.ownerWatches[owner]}
+	}
+	id := s.Watch(path, token, fn)
+	if owner != 0 {
+		if s.ownerWatches == nil {
+			s.ownerWatches = make(map[int]int)
+		}
+		s.ownerWatches[owner]++
+		s.watchOwners(id, owner)
+	}
+	return id, nil
 }
 
 // missingNodes reports how many path components do not yet exist.

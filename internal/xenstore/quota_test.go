@@ -123,3 +123,81 @@ func TestQuotaDisabled(t *testing.T) {
 		}
 	}
 }
+
+// TestWatchQuota: guest watch registration is bounded per domain
+// (xenstored's quota-nb-watch-per-domain), the refusal is the typed
+// *ErrQuotaExceeded that still matches the ErrQuota sentinel, and
+// unwatching returns the quota.
+func TestWatchQuota(t *testing.T) {
+	s, _ := newStore()
+	s.SetWatchQuota(3)
+	var ids []WatchID
+	for i := 0; i < 3; i++ {
+		id, err := s.WatchAsGuest(7, fmt.Sprintf("/g/%d", i), "tok", func(string, string) {})
+		if err != nil {
+			t.Fatalf("watch %d under quota: %v", i, err)
+		}
+		ids = append(ids, id)
+	}
+	if s.OwnerWatches(7) != 3 {
+		t.Fatalf("OwnerWatches = %d, want 3", s.OwnerWatches(7))
+	}
+	_, err := s.WatchAsGuest(7, "/g/over", "tok", func(string, string) {})
+	if err == nil {
+		t.Fatal("4th watch admitted past a quota of 3")
+	}
+	var qe *ErrQuotaExceeded
+	if !errors.As(err, &qe) {
+		t.Fatalf("refusal not typed: %T %v", err, err)
+	}
+	if qe.Resource != "watches" || qe.Domain != 7 || qe.Limit != 3 {
+		t.Fatalf("typed refusal fields: %+v", qe)
+	}
+	if !errors.Is(err, ErrQuota) {
+		t.Fatal("typed refusal does not match the ErrQuota sentinel")
+	}
+	// Another domain is unaffected; dom0 is never quota'd.
+	if _, err := s.WatchAsGuest(8, "/g/other", "tok", func(string, string) {}); err != nil {
+		t.Fatalf("domain 8 blocked by domain 7's quota: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := s.WatchAsGuest(0, "/dom0", "tok", func(string, string) {}); err != nil {
+			t.Fatalf("dom0 watch quota'd: %v", err)
+		}
+	}
+	// Quota returns on unwatch.
+	s.Unwatch(ids[0])
+	if s.OwnerWatches(7) != 2 {
+		t.Fatalf("OwnerWatches after unwatch = %d, want 2", s.OwnerWatches(7))
+	}
+	if _, err := s.WatchAsGuest(7, "/g/again", "tok", func(string, string) {}); err != nil {
+		t.Fatalf("watch after freeing quota: %v", err)
+	}
+	// Token teardown returns quota too.
+	if s.UnwatchByToken("tok") == 0 {
+		t.Fatal("token teardown removed nothing")
+	}
+	if s.OwnerWatches(7) != 0 || s.OwnerWatches(8) != 0 {
+		t.Fatalf("quota not returned on token teardown: %d/%d", s.OwnerWatches(7), s.OwnerWatches(8))
+	}
+}
+
+// TestNodeQuotaTyped: the node-quota refusal carries the typed fields
+// and keeps matching the sentinel existing callers check.
+func TestNodeQuotaTyped(t *testing.T) {
+	s, _ := newStore()
+	s.SetNodeQuota(2)
+	if err := s.WriteAsGuest(5, "/local/a", "x"); err == nil {
+		// /local + /a = 2 nodes: at quota, not over.
+	} else if !errors.Is(err, ErrQuota) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	err := s.WriteAsGuest(5, "/local/b", "x")
+	if err == nil {
+		t.Fatal("write past node quota admitted")
+	}
+	var qe *ErrQuotaExceeded
+	if !errors.As(err, &qe) || qe.Resource != "nodes" || qe.Domain != 5 || qe.Limit != 2 {
+		t.Fatalf("typed node refusal: %T %+v", err, err)
+	}
+}

@@ -184,6 +184,10 @@ type Store struct {
 	nodeQuota int
 	// ownerNodes tracks quota usage per owning domain.
 	ownerNodes map[int]int
+	// watchQuota is the per-domain watch limit (see quota.go).
+	watchQuota int
+	// ownerWatches tracks registered watches per owning domain.
+	ownerWatches map[int]int
 
 	Count Counters
 }
@@ -196,6 +200,7 @@ func New(clock *sim.Clock) *Store {
 		LoggingEnabled: true,
 		nodeQuota:      DefaultNodeQuota,
 		ownerNodes:     make(map[int]int),
+		watchQuota:     DefaultWatchQuota,
 	}
 	s.pl = newPool(&s.snapEpoch)
 	s.state.Store(&treeState{root: &node{name: "/", hsh: nameHash("/"), size: 1}})

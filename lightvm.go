@@ -181,7 +181,17 @@ type ExperimentResult struct {
 	// there. Nil unless the figure arms toolstack-crash faults
 	// (currently ext-churn).
 	CrashSites []CrashSiteStat
+	// Serving aggregates a traffic-serving figure's latency tail and
+	// rejection breakdown (ext-serve, ext-overload); nil otherwise.
+	// lightvm-bench -json carries it so benchdiff can gate p99/p999
+	// and reject-rate regressions.
+	Serving *ServingSummary
 }
+
+// ServingSummary is a serving figure's aggregate traffic outcome:
+// latency quantiles, rejections by reason, retry and brownout
+// accounting.
+type ServingSummary = experiments.ServingSummary
 
 // CrashSiteStat is one labeled crash point's opportunity/injection
 // counters.
@@ -250,6 +260,7 @@ func toExperimentResult(res experiments.Result) ExperimentResult {
 		VirtualMS:  res.VirtualMS,
 		Allocs:     res.Allocs,
 		CrashSites: res.CrashSites,
+		Serving:    res.Serving,
 	}
 	if tab, ok := res.Table.(*metrics.Table); ok {
 		// Most of the paper's time figures are log-scale.
@@ -392,6 +403,26 @@ type (
 	TrafficMode = traffic.Mode
 	// TrafficReject is the typed admission-backpressure error.
 	TrafficReject = traffic.Reject
+	// RejectReason classifies admission backpressure (backlog,
+	// capacity, overload, quota, retry-budget).
+	RejectReason = traffic.RejectReason
+	// OverloadState is the serving plane's degradation level
+	// (Normal → Brownout → Shedding), surfaced in TrafficStats.
+	OverloadState = traffic.OverloadState
+	// TrafficDefense toggles the overload defenses per serving run:
+	// AIMD adaptive admission, retry budgets, two-priority shedding
+	// and brownout serving. The zero value reproduces the undefended
+	// plane exactly.
+	TrafficDefense = traffic.Defense
+	// TrafficClass is a request's scheduling class for two-priority
+	// shedding (paid sheds last, batch first).
+	TrafficClass = traffic.Class
+	// PhaseRate is one segment of a phased (piecewise-Poisson)
+	// arrival process.
+	PhaseRate = traffic.PhaseRate
+	// TrafficPhaseStats is one accounting phase's slice of a serving
+	// run (see TrafficConfig.PhaseBounds).
+	TrafficPhaseStats = traffic.PhaseStats
 	// Arrivals is an arrival process: seeded, deterministic,
 	// allocation-free gap generation on the virtual clock.
 	Arrivals = traffic.Arrivals
@@ -407,9 +438,37 @@ const (
 	PoolPredictive  = traffic.PoolPredictive
 	ContainerMode   = traffic.Container
 	ProcessMode     = traffic.Process
+	VMPerRequestXL  = traffic.VMPerRequestXL
 	ScaleReactive   = toolstack.ScaleReactive
 	ScalePredictive = toolstack.ScalePredictive
 )
+
+// Admission reject reasons (TrafficReject.Reason).
+const (
+	RejectBacklog  = traffic.RejectBacklog
+	RejectCapacity = traffic.RejectCapacity
+	RejectOverload = traffic.RejectOverload
+	RejectQuota    = traffic.RejectQuota
+	RejectBudget   = traffic.RejectBudget
+)
+
+// Overload states (the Normal → Brownout → Shedding ladder).
+const (
+	StateNormal   = traffic.StateNormal
+	StateBrownout = traffic.StateBrownout
+	StateShedding = traffic.StateShedding
+)
+
+// Request classes for two-priority shedding.
+const (
+	ClassPaid  = traffic.ClassPaid
+	ClassBatch = traffic.ClassBatch
+)
+
+// EstimateCapacity measures a serving mode's sustainable request rate
+// on an idle scratch host — the denominator behind "offered load at
+// 2× capacity" in overload scenarios.
+var EstimateCapacity = traffic.EstimateCapacity
 
 // Arrival-process constructors.
 var (
@@ -420,6 +479,10 @@ var (
 	NewMMPP = traffic.NewMMPP
 	// NewTrace replays a recorded gap sequence.
 	NewTrace = traffic.NewTrace
+	// NewPhased is piecewise-Poisson traffic: the rate switches at
+	// fixed virtual-time boundaries (pre-burst / burst / post-burst
+	// timelines for overload studies).
+	NewPhased = traffic.NewPhased
 	// FlashTrace synthesizes a replayable flash-crowd trace.
 	FlashTrace = traffic.FlashTrace
 )
